@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test test-race bench suite tables clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the paper's tables for this host (class W keeps the
+# pseudo-applications to seconds-to-minutes; use CLASS=A for paper scale).
+CLASS ?= W
+THREADS ?= 1,2,4
+suite:
+	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS)
+
+tables:
+	$(GO) run ./cmd/cfdops -threads $(THREADS)
+	$(GO) run ./cmd/jgflu -classes A,B,C
+	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS)
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,137 @@
+// Command cfdops regenerates the paper's §3 translation study: the
+// execution times of the five basic CFD operations on the 81x81x100
+// grid (Table 1), for the serial code, the dimension-preserving array
+// layout, and a sweep of thread counts.
+//
+//	cfdops -threads 1,2,4 -iters 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"npbgo/internal/grid"
+	"npbgo/internal/ops"
+	"npbgo/internal/report"
+	"npbgo/internal/team"
+)
+
+// timeIt reports the best-of-3 time of iters calls to f.
+func timeIt(iters int, f func()) float64 {
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		s := time.Since(t0).Seconds()
+		if rep == 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func main() {
+	threadsFlag := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	iters := flag.Int("iters", 20, "iterations per measurement")
+	layout := flag.Bool("layout", true, "include the linearized vs nested layout comparison")
+	dim := flag.String("grid", "81x81x100", "grid extents n1xn2xn3")
+	flag.Parse()
+
+	var threads []int
+	for _, tok := range strings.Split(*threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "cfdops: bad thread count %q\n", tok)
+			os.Exit(2)
+		}
+		threads = append(threads, n)
+	}
+	d := ops.DefaultDim
+	if n, err := fmt.Sscanf(*dim, "%dx%dx%d", &d.N1, &d.N2, &d.N3); n != 3 || err != nil {
+		fmt.Fprintf(os.Stderr, "cfdops: bad -grid %q\n", *dim)
+		os.Exit(2)
+	}
+	w := ops.NewWorkload(d)
+	var sink float64
+
+	type op struct {
+		name     string
+		factor   int   // the paper times Assignment for 10 iterations
+		flops    int64 // analytic flop count per invocation (0: none)
+		serial   func()
+		parallel func(tm *team.Team)
+	}
+	operations := []op{
+		{"Assignment (10 iterations)", 10, 0, w.Assignment, w.AssignmentParallel},
+		{"First Order Stencil", 1, w.FlopsFirstOrder(), w.FirstOrder, w.FirstOrderParallel},
+		{"Second Order Stencil", 1, w.FlopsSecondOrder(), w.SecondOrder, w.SecondOrderParallel},
+		{"Matrix vector multiplication", 1, w.FlopsMatVec(), w.MatVec, w.MatVecParallel},
+		{"Reduction Sum", 1, w.FlopsReduceSum(), func() { sink += w.ReduceSum() },
+			func(tm *team.Team) { sink += w.ReduceSumParallel(tm) }},
+	}
+
+	header := []string{"Operation", "Serial"}
+	for _, t := range threads {
+		header = append(header, fmt.Sprintf("%d", t))
+	}
+	header = append(header, "serial Mflop/s")
+	tb := report.New(
+		fmt.Sprintf("Basic CFD operation times in seconds on %dx%dx%d (cf. paper Table 1; per-cell value = time of %d op invocations)",
+			d.N1, d.N2, d.N3, *iters),
+		header...)
+
+	for _, o := range operations {
+		row := []string{o.name}
+		ts := timeIt(*iters*o.factor, o.serial)
+		row = append(row, report.Seconds(ts))
+		for _, t := range threads {
+			tm := team.New(t)
+			row = append(row, report.Seconds(timeIt(*iters*o.factor, func() { o.parallel(tm) })))
+			tm.Close()
+		}
+		if o.flops > 0 && ts > 0 {
+			rate := float64(o.flops) * float64(*iters*o.factor) / ts * 1e-6
+			row = append(row, fmt.Sprintf("%.0f", rate))
+		} else {
+			row = append(row, "-")
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(tb.String())
+
+	if *layout {
+		fmt.Println()
+		lt := report.New("Array layout study (cf. §3): linearized vs dimension-preserving, serial",
+			"Operation", "Linearized", "Nested", "Nested/Linearized")
+		var sink float64
+		pairs := []struct {
+			name     string
+			lin, nst func()
+		}{
+			{"Assignment", w.Assignment, w.AssignmentNested},
+			{"First Order Stencil", w.FirstOrder, w.FirstOrderNested},
+			{"Second Order Stencil", w.SecondOrder, w.SecondOrderNested},
+			{"Matrix vector multiplication", w.MatVec, w.MatVecNested},
+			{"Reduction Sum", func() { sink += w.ReduceSum() }, func() { sink += w.ReduceSumNested() }},
+		}
+		for _, p := range pairs {
+			tl := timeIt(*iters, p.lin)
+			tn := timeIt(*iters, p.nst)
+			ratio := 0.0
+			if tl > 0 {
+				ratio = tn / tl
+			}
+			lt.AddRow(p.name, report.Seconds(tl), report.Seconds(tn), fmt.Sprintf("%.2f", ratio))
+		}
+		fmt.Print(lt.String())
+		_ = sink
+	}
+	_ = sink
+	_ = grid.Dim3{}
+}

@@ -1,0 +1,59 @@
+// Command jgflu regenerates the paper's Table 7: the Java Grande lufact
+// benchmark (unblocked BLAS1 LU with partial pivoting) against a
+// LINPACK/LAPACK-style blocked LU with a matrix-multiply update, on
+// classes A, B and C (500, 1000 and 2000 square matrices).
+//
+//	jgflu -classes A,B,C -nb 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"npbgo/internal/jgf"
+	"npbgo/internal/report"
+)
+
+func main() {
+	classesFlag := flag.String("classes", "A,B,C", "comma-separated class letters")
+	nb := flag.Int("nb", 32, "block size for the blocked (DGETRF-style) variant")
+	flag.Parse()
+
+	tb := report.New(
+		"Java Grande LU study (cf. paper Table 7), times in seconds",
+		"Class", "n", "lufact", "blocked LU", "lufact Mflop/s", "blocked Mflop/s", "ratio")
+
+	for _, tok := range strings.Split(*classesFlag, ",") {
+		cl := strings.ToUpper(strings.TrimSpace(tok))[0]
+		lres, err := jgf.RunLufact(cl, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jgflu:", err)
+			os.Exit(2)
+		}
+		bres, err := jgf.RunBlocked(cl, 0, *nb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jgflu:", err)
+			os.Exit(2)
+		}
+		if !lres.OK || !bres.OK {
+			fmt.Fprintf(os.Stderr, "jgflu: class %c residual check failed (%g, %g)\n",
+				cl, lres.Residual, bres.Residual)
+			os.Exit(1)
+		}
+		lt := (lres.Factor + lres.Solve).Seconds()
+		bt := (bres.Factor + bres.Solve).Seconds()
+		ratio := 0.0
+		if bt > 0 {
+			ratio = lt / bt
+		}
+		tb.AddRow(string(cl), fmt.Sprintf("%d", lres.N),
+			report.Seconds(lt), report.Seconds(bt),
+			fmt.Sprintf("%.1f", lres.Mflops), fmt.Sprintf("%.1f", bres.Mflops),
+			fmt.Sprintf("%.2f", ratio))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nThe paper's point: lufact is BLAS1/memory-bound (poor cache reuse), so it")
+	fmt.Println("obscures language comparisons; the blocked LU shows the machine's real headroom.")
+}

@@ -1,0 +1,70 @@
+// Command npbsuite regenerates the paper's Tables 2-6 for this host:
+// every benchmark of the suite at one class, timed serial and across a
+// sweep of thread counts, with speedup and efficiency summaries.
+//
+//	npbsuite -class S -threads 1,2,4 -repeats 2
+//
+// The paper ran the same sweep on five SMP machines; on a single host
+// the machine axis collapses and one table is produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"npbgo"
+	"npbgo/internal/harness"
+)
+
+func main() {
+	class := flag.String("class", "S", "problem class: S W A B C")
+	threadsFlag := flag.String("threads", "1,2,4", "comma-separated thread counts")
+	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	repeats := flag.Int("repeats", 1, "repetitions per cell (best time kept)")
+	warmup := flag.Bool("warmup", false, "apply the CG warmup fix of §5.2")
+	flag.Parse()
+
+	var threads []int
+	for _, tok := range strings.Split(*threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "npbsuite: bad thread count %q\n", tok)
+			os.Exit(2)
+		}
+		threads = append(threads, n)
+	}
+	benches := npbgo.Benchmarks()
+	if *benchFlag != "" {
+		benches = nil
+		for _, tok := range strings.Split(*benchFlag, ",") {
+			benches = append(benches, npbgo.Benchmark(strings.ToUpper(strings.TrimSpace(tok))))
+		}
+	}
+	cl := strings.ToUpper(*class)[0]
+
+	fmt.Printf("NPB-Go suite sweep: class %c, GOMAXPROCS=%d, host CPUs=%d\n\n",
+		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	var sweeps []harness.Sweep
+	for _, b := range benches {
+		sw, err := harness.RunSweep(b, cl, threads, *warmup, *repeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: %s: %v\n", b, err)
+			os.Exit(1)
+		}
+		sweeps = append(sweeps, sw)
+		if base, ok := sw.Serial(); ok {
+			fmt.Printf("  %s.%c serial %.3fs (%.1f Mop/s)\n", b, cl, base.Elapsed.Seconds(), base.Mops)
+		}
+	}
+	fmt.Println()
+	fmt.Print(harness.SuiteTable(
+		fmt.Sprintf("Benchmark times in seconds (class %c) — cf. paper Tables 2-6", cl),
+		sweeps, threads))
+	fmt.Println()
+	fmt.Print(harness.SpeedupTable("Speedup S(n) and efficiency E(n) over serial", sweeps, threads))
+}

@@ -1,0 +1,63 @@
+package npbgo_test
+
+import (
+	"fmt"
+
+	"npbgo"
+)
+
+// ExampleRun shows the basic benchmark-driving API. (Timing varies per
+// host, so this example asserts only the verification outcome.)
+func ExampleRun() {
+	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.MG, Class: 'S', Threads: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Benchmark, string(res.Class), res.Verified, res.Tier)
+	// Output: MG S true official
+}
+
+// ExampleBlockRange shows the static partitioning the team runtime uses
+// for loop work-sharing.
+func ExampleBlockRange() {
+	for id := 0; id < 3; id++ {
+		lo, hi := npbgo.BlockRange(0, 10, 3, id)
+		fmt.Printf("worker %d: [%d,%d)\n", id, lo, hi)
+	}
+	// Output:
+	// worker 0: [0,4)
+	// worker 1: [4,7)
+	// worker 2: [7,10)
+}
+
+// ExampleTeam demonstrates a deterministic parallel reduction.
+func ExampleTeam() {
+	team := npbgo.NewTeam(4)
+	defer team.Close()
+	sum := team.ReduceSum(1, 101, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	fmt.Println(sum)
+	// Output: 5050
+}
+
+// ExampleNewPoissonSolver solves a dipole right-hand side and reports
+// the order of the residual after four V-cycles.
+func ExampleNewPoissonSolver() {
+	s, err := npbgo.NewPoissonSolver(16, 1)
+	if err != nil {
+		panic(err)
+	}
+	rhs := make([]float64, 16*16*16)
+	rhs[0], rhs[2048] = 1, -1
+	_, res, err := s.Solve(rhs, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res < 1e-4)
+	// Output: true
+}

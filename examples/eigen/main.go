@@ -1,0 +1,71 @@
+// Eigen: use the CG benchmark's inverse power method as a library to
+// estimate the smallest eigenvalue of a matrix with a known spectrum —
+// the 3-D discrete Dirichlet Laplacian on a 20^3 grid, whose
+// eigenvalues are sums of 2 - 2 cos(k*pi/21) over the three axes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"npbgo"
+)
+
+func main() {
+	const m = 20 // grid points per side
+	n := m * m * m
+
+	// Assemble the 7-point Laplacian in CSR form.
+	idx := func(i, j, k int) int { return i + m*(j+m*k) }
+	rowstr := make([]int, n+1)
+	var colidx []int
+	var a []float64
+	add := func(c int, v float64) {
+		colidx = append(colidx, c)
+		a = append(a, v)
+	}
+	for k := 0; k < m; k++ {
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				row := idx(i, j, k)
+				rowstr[row] = len(a)
+				if k > 0 {
+					add(idx(i, j, k-1), -1)
+				}
+				if j > 0 {
+					add(idx(i, j-1, k), -1)
+				}
+				if i > 0 {
+					add(idx(i-1, j, k), -1)
+				}
+				add(row, 6)
+				if i < m-1 {
+					add(idx(i+1, j, k), -1)
+				}
+				if j < m-1 {
+					add(idx(i, j+1, k), -1)
+				}
+				if k < m-1 {
+					add(idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	rowstr[n] = len(a)
+
+	res, err := npbgo.EstimateSmallestEigenvalue(n, rowstr, colidx, a, 0.0, 20, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := 3 * (2 - 2*math.Cos(math.Pi/float64(m+1)))
+	fmt.Printf("estimate  %.12f\n", res.Eigenvalue)
+	fmt.Printf("exact     %.12f\n", exact)
+	fmt.Printf("rel.err   %.2e   (inner CG residual %.2e)\n",
+		math.Abs(res.Eigenvalue-exact)/exact, res.Residual)
+	for i, h := range res.History {
+		if i%5 == 0 || i == len(res.History)-1 {
+			fmt.Printf("  outer %2d: %.10f\n", i+1, h)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Poisson: use the MG benchmark's V-cycle machinery as a real solver.
+//
+// We place a dipole of point charges in a periodic 64^3 box — the same
+// kind of right-hand side the MG benchmark's zran3 generates — and
+// watch the residual fall by roughly an order of magnitude per V-cycle,
+// which is the multigrid property the benchmark certifies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"npbgo"
+)
+
+func main() {
+	const n = 64
+	solver, err := npbgo.NewPoissonSolver(n, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Right-hand side: +1 and -1 point charges (zero mean, so the
+	// periodic problem is well posed).
+	rhs := make([]float64, n*n*n)
+	at := func(i, j, k int) int { return i + n*(j+n*k) }
+	rhs[at(16, 16, 16)] = 1.0
+	rhs[at(48, 48, 48)] = -1.0
+
+	fmt.Println("cycles  residual L2 norm")
+	for _, cycles := range []int{1, 2, 4, 8} {
+		_, res, err := solver.Solve(rhs, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %.6e\n", cycles, res)
+	}
+
+	u, res, err := solver.Solve(rhs, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The MG operator has a negative diagonal (a0 = -8/3), so the
+	// potential is negative under the + charge and positive under the
+	// - charge, with equal magnitudes by symmetry.
+	fmt.Printf("\nfinal residual %.3e\n", res)
+	fmt.Printf("u near +charge: %+.6f   u near -charge: %+.6f\n",
+		u[at(16, 16, 16)], u[at(48, 48, 48)])
+}

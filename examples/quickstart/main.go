@@ -1,0 +1,35 @@
+// Quickstart: run one NAS Parallel Benchmark through the public API and
+// print its verified result — the "hello world" of the suite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"npbgo"
+)
+
+func main() {
+	// CG class S: estimate the smallest eigenvalue of a 1400x1400
+	// random sparse symmetric matrix with a conjugate-gradient inverse
+	// power iteration, on 2 worker threads.
+	res, err := npbgo.Run(npbgo.Config{
+		Benchmark: npbgo.CG,
+		Class:     'S',
+		Threads:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Print(res.Detail)
+
+	// The same API runs every benchmark of the suite:
+	for _, b := range npbgo.Benchmarks() {
+		r, err := npbgo.Run(npbgo.Config{Benchmark: b, Class: 'S', Threads: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r)
+	}
+}

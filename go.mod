@@ -1,0 +1,3 @@
+module npbgo
+
+go 1.22

@@ -1,0 +1,93 @@
+package npbgo_test
+
+import (
+	"testing"
+
+	"npbgo"
+)
+
+// TestClassWVerifies runs the whole suite at class W against the
+// official reference values — a heavier integration pass (tens of
+// seconds); skipped under -short.
+func TestClassWVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W integration run skipped in -short mode")
+	}
+	// BT/SP/LU at W take minutes on a laptop-class core; the W
+	// integration pass covers the kernels, whose W runs are seconds.
+	// The pseudo-applications' W/A verification is exercised by
+	// cmd/npbsuite and was used to pin their reference values.
+	for _, b := range []npbgo.Benchmark{npbgo.FT, npbgo.MG, npbgo.CG, npbgo.IS, npbgo.EP} {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			res, err := npbgo.Run(npbgo.Config{Benchmark: b, Class: 'W', Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed {
+				t.Fatalf("verification failed:\n%s", res.Detail)
+			}
+			if !res.Verified {
+				t.Fatalf("expected verification, tier %s", res.Tier)
+			}
+		})
+	}
+}
+
+// TestProfileRequested checks the per-phase profile plumbing.
+func TestProfileRequested(t *testing.T) {
+	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.BT, Class: 'S', Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"rhs", "xsolve", "ysolve", "zsolve", "add"} {
+		if !contains(res.Profile, phase) {
+			t.Fatalf("profile missing phase %q:\n%s", phase, res.Profile)
+		}
+	}
+	// Profile not requested: absent.
+	res2, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.BT, Class: 'S'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Profile != "" {
+		t.Fatal("profile present without request")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBucketsConfig drives IS's bucketed variant through the facade.
+func TestBucketsConfig(t *testing.T) {
+	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.IS, Class: 'S', Threads: 2, Buckets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("bucketed IS unverified:\n%s", res.Detail)
+	}
+}
+
+// TestProfileSPLU checks the per-phase plumbing for the other two
+// pseudo-applications.
+func TestProfileSPLU(t *testing.T) {
+	for _, bench := range []npbgo.Benchmark{npbgo.SP, npbgo.LU} {
+		res, err := npbgo.Run(npbgo.Config{Benchmark: bench, Class: 'S', Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Profile == "" {
+			t.Fatalf("%s: no profile produced", bench)
+		}
+		if !contains(res.Profile, "rhs") {
+			t.Fatalf("%s profile missing rhs phase:\n%s", bench, res.Profile)
+		}
+	}
+}

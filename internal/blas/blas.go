@@ -1,0 +1,97 @@
+// Package blas provides the handful of dense linear-algebra kernels the
+// Java Grande LU study (paper Table 7) is built from: the BLAS1
+// operations that lufact/LINPACK DGEFA uses, and the blocked BLAS3-style
+// update that makes LAPACK DGETRF cache-friendly. Matrices are stored
+// column-major in flat slices, as in the Fortran originals.
+package blas
+
+import "math"
+
+// Idamax returns the index of the element of largest absolute value in
+// dx[:n] (increment 1), -1 for n < 1 — BLAS idamax, 0-based.
+func Idamax(n int, dx []float64) int {
+	if n < 1 {
+		return -1
+	}
+	best := 0
+	dmax := math.Abs(dx[0])
+	for i := 1; i < n; i++ {
+		if d := math.Abs(dx[i]); d > dmax {
+			dmax = d
+			best = i
+		}
+	}
+	return best
+}
+
+// Daxpy computes dy[:n] += da * dx[:n] (increment 1).
+func Daxpy(n int, da float64, dx, dy []float64) {
+	if da == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		dy[i] += da * dx[i]
+	}
+}
+
+// Dscal scales dx[:n] by da.
+func Dscal(n int, da float64, dx []float64) {
+	for i := 0; i < n; i++ {
+		dx[i] *= da
+	}
+}
+
+// Ddot returns the dot product of dx[:n] and dy[:n].
+func Ddot(n int, dx, dy []float64) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += dx[i] * dy[i]
+	}
+	return s
+}
+
+// DgemmSub computes C -= A*B for column-major blocks: A is m x kk, B is
+// kk x n, C is m x n, with leading dimensions lda, ldb, ldc. This is
+// the trailing-submatrix update that gives blocked LU its cache reuse
+// (the paper's Table 7 contrast between lufact and LINPACK DGETRF).
+//
+// The kernel is a plain rank-1-update loop nest: measured on this
+// project's reference host, a 4-column register-tiled variant was
+// slower (Go's bounds checks and aliasing analysis favour the
+// two-slice loop), so the simple form is kept; see EXPERIMENTS.md's
+// Table 7 discussion.
+func DgemmSub(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc:]
+		bj := b[j*ldb:]
+		for l := 0; l < kk; l++ {
+			blj := bj[l]
+			if blj == 0 {
+				continue
+			}
+			al := a[l*lda:]
+			for i := 0; i < m; i++ {
+				cj[i] -= blj * al[i]
+			}
+		}
+	}
+}
+
+// DtrsmLLUnit solves L * X = B in place for a unit-lower-triangular
+// m x m block L (column-major, leading dimension lda), with B an m x n
+// block (leading dimension ldb) — the panel update of blocked LU.
+func DtrsmLLUnit(m, n int, l []float64, lda int, b []float64, ldb int) {
+	for j := 0; j < n; j++ {
+		bj := b[j*ldb:]
+		for k := 0; k < m; k++ {
+			bkj := bj[k]
+			if bkj == 0 {
+				continue
+			}
+			lk := l[k*lda:]
+			for i := k + 1; i < m; i++ {
+				bj[i] -= bkj * lk[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdamax(t *testing.T) {
+	if Idamax(0, nil) != -1 {
+		t.Fatal("empty vector should return -1")
+	}
+	x := []float64{1, -7, 3, 7, -2}
+	if got := Idamax(len(x), x); got != 1 {
+		t.Fatalf("Idamax = %d, want 1 (first of equal magnitudes)", got)
+	}
+}
+
+func TestIdamaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				raw[i] = 0
+			}
+		}
+		k := Idamax(len(raw), raw)
+		for _, v := range raw {
+			if math.Abs(v) > math.Abs(raw[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaxpyDscalDdot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Daxpy(3, 2, x, y)
+	if y[0] != 12 || y[1] != 24 || y[2] != 36 {
+		t.Fatalf("Daxpy result %v", y)
+	}
+	Daxpy(3, 0, x, y) // no-op
+	if y[0] != 12 {
+		t.Fatal("Daxpy with zero alpha changed y")
+	}
+	Dscal(3, 0.5, y)
+	if y[0] != 6 || y[2] != 18 {
+		t.Fatalf("Dscal result %v", y)
+	}
+	if d := Ddot(3, x, x); d != 14 {
+		t.Fatalf("Ddot = %v", d)
+	}
+}
+
+func TestDgemmSubMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 7, 5, 6
+	lda, ldb, ldc := m+2, k+1, m+3
+	a := make([]float64, lda*k)
+	b := make([]float64, ldb*n)
+	c := make([]float64, ldc*n)
+	want := make([]float64, ldc*n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	for i := range c {
+		c[i] = rng.Float64()
+		want[i] = c[i]
+	}
+	DgemmSub(m, n, k, a, lda, b, ldb, c, ldc)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			s := want[j*ldc+i]
+			for l := 0; l < k; l++ {
+				s -= a[l*lda+i] * b[j*ldb+l]
+			}
+			if math.Abs(c[j*ldc+i]-s) > 1e-12 {
+				t.Fatalf("C(%d,%d) = %v, want %v", i, j, c[j*ldc+i], s)
+			}
+		}
+	}
+}
+
+func TestDtrsmLLUnit(t *testing.T) {
+	// Build a unit-lower L, a known X, compute B = L*X, then verify the
+	// solve recovers X.
+	rng := rand.New(rand.NewSource(4))
+	m, n := 6, 4
+	lda, ldb := m, m
+	l := make([]float64, lda*m)
+	for j := 0; j < m; j++ {
+		l[j*lda+j] = 1
+		for i := j + 1; i < m; i++ {
+			l[j*lda+i] = rng.Float64() - 0.5
+		}
+	}
+	x := make([]float64, ldb*n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b := make([]float64, ldb*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for q := 0; q <= i; q++ {
+				lv := l[q*lda+i]
+				if q == i {
+					lv = 1
+				}
+				s += lv * x[j*ldb+q]
+			}
+			b[j*ldb+i] = s
+		}
+	}
+	DtrsmLLUnit(m, n, l, lda, b, ldb)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-12 {
+			t.Fatalf("element %d: %v vs %v", i, b[i], x[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package bt
+
+// 5x5 blocks are stored column-major in 25-element slices (element
+// (row, col) at row + 5*col), matching the Fortran lhs(m,n,...) layout.
+// These four primitives are the inner kernels of the block-tridiagonal
+// Thomas algorithm (solve_subs.f): an unpivoted Gauss-Jordan that
+// simultaneously transforms the coupling block and right-hand side, a
+// 5x5 matrix-matrix multiply-subtract, and a matrix-vector
+// multiply-subtract. Pivoting is unnecessary because the blocks are
+// strongly diagonally dominant by construction (I + dt * Jacobian terms).
+
+// binvcrhs performs in-place Gauss-Jordan elimination on blk, applying
+// the same row operations to the coupling block c and the 5-vector r:
+// on return c = blk0^-1 * c and r = blk0^-1 * r.
+func binvcrhs(blk, c, r []float64) {
+	for p := 0; p < 5; p++ {
+		pivot := 1.0 / blk[p+5*p]
+		for n := p + 1; n < 5; n++ {
+			blk[p+5*n] *= pivot
+		}
+		for n := 0; n < 5; n++ {
+			c[p+5*n] *= pivot
+		}
+		r[p] *= pivot
+		for q := 0; q < 5; q++ {
+			if q == p {
+				continue
+			}
+			coeff := blk[q+5*p]
+			for n := p + 1; n < 5; n++ {
+				blk[q+5*n] -= coeff * blk[p+5*n]
+			}
+			for n := 0; n < 5; n++ {
+				c[q+5*n] -= coeff * c[p+5*n]
+			}
+			r[q] -= coeff * r[p]
+		}
+	}
+}
+
+// binvrhs is binvcrhs without a coupling block (used at the last cell of
+// each line): r = blk^-1 * r.
+func binvrhs(blk, r []float64) {
+	for p := 0; p < 5; p++ {
+		pivot := 1.0 / blk[p+5*p]
+		for n := p + 1; n < 5; n++ {
+			blk[p+5*n] *= pivot
+		}
+		r[p] *= pivot
+		for q := 0; q < 5; q++ {
+			if q == p {
+				continue
+			}
+			coeff := blk[q+5*p]
+			for n := p + 1; n < 5; n++ {
+				blk[q+5*n] -= coeff * blk[p+5*n]
+			}
+			r[q] -= coeff * r[p]
+		}
+	}
+}
+
+// matvecSub computes r2 -= a * r1 for a 5x5 block a and 5-vectors.
+func matvecSub(a, r1, r2 []float64) {
+	for m := 0; m < 5; m++ {
+		r2[m] -= a[m+0]*r1[0] + a[m+5]*r1[1] + a[m+10]*r1[2] +
+			a[m+15]*r1[3] + a[m+20]*r1[4]
+	}
+}
+
+// matmulSub computes c -= a * bblk for 5x5 blocks.
+func matmulSub(a, bblk, c []float64) {
+	for n := 0; n < 5; n++ {
+		b0 := bblk[0+5*n]
+		b1 := bblk[1+5*n]
+		b2 := bblk[2+5*n]
+		b3 := bblk[3+5*n]
+		b4 := bblk[4+5*n]
+		for m := 0; m < 5; m++ {
+			c[m+5*n] -= a[m+0]*b0 + a[m+5]*b1 + a[m+10]*b2 +
+				a[m+15]*b3 + a[m+20]*b4
+		}
+	}
+}
+
+// lineScratch is the per-worker storage for one implicit line solve:
+// flux and viscous Jacobians at every cell of the line plus the three
+// block diagonals.
+type lineScratch struct {
+	fjac, njac []float64 // 25 * (n) each
+	aa, bb, cc []float64 // 25 * (n) each
+}
+
+func newLineScratch(n int) *lineScratch {
+	return &lineScratch{
+		fjac: make([]float64, 25*n),
+		njac: make([]float64, 25*n),
+		aa:   make([]float64, 25*n),
+		bb:   make([]float64, 25*n),
+		cc:   make([]float64, 25*n),
+	}
+}
+
+// lhsinit clears the first and last block rows of the line and puts
+// identity on their main diagonals, as the Fortran lhsinit.
+func (ls *lineScratch) lhsinit(isize int) {
+	for _, i := range [2]int{0, isize} {
+		off := 25 * i
+		for e := 0; e < 25; e++ {
+			ls.aa[off+e] = 0
+			ls.bb[off+e] = 0
+			ls.cc[off+e] = 0
+		}
+		for d := 0; d < 5; d++ {
+			ls.bb[off+d+5*d] = 1.0
+		}
+	}
+}
+
+// blk returns the 25-element block i of a packed block array.
+func blk(a []float64, i int) []float64 { return a[25*i : 25*i+25] }

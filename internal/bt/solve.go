@@ -1,0 +1,178 @@
+package bt
+
+import (
+	"npbgo/internal/nscore"
+	"npbgo/internal/team"
+)
+
+// The three ADI sweeps share one implementation parameterized by
+// direction: the flux Jacobian (fjac) and viscous Jacobian (njac) have
+// the same shape in x, y and z with the convective velocity component
+// swapped, and the block-tridiagonal assembly differs only in the
+// dt*t?1 / dt*t?2 factors and the d?1..d?5 diffusion diagonals. This is
+// exactly the symmetry the Fortran x_solve/y_solve/z_solve triplicates.
+
+// dirSpec carries the per-direction parameters of the implicit solve.
+type dirSpec struct {
+	cv         int        // 0-based velocity component: 1 (u), 2 (v), 3 (w)
+	tmp1, tmp2 float64    // dt*t1, dt*t2
+	d          [5]float64 // diffusion diagonal Dx1..Dx5 / dy / dz
+}
+
+// buildJacobians fills ls.fjac/ls.njac for cell l of a line from the
+// state at flat offsets (uoff = conserved variables, soff = scalars),
+// delegating to the shared nscore Jacobian builder.
+func (b *Benchmark) buildJacobians(ls *lineScratch, l int, uoff, soff int, cv int) {
+	uvec := [5]float64{b.f.U[uoff], b.f.U[uoff+1], b.f.U[uoff+2], b.f.U[uoff+3], b.f.U[uoff+4]}
+	nscore.FluxViscJacobians(&b.c, &uvec, b.f.RhoI[soff], b.f.Qs[soff], b.f.Square[soff],
+		cv, blk(ls.fjac, l), blk(ls.njac, l))
+}
+
+// assembleLHS builds the aa/bb/cc block diagonals for the interior cells
+// of a line of length isize+1, as the lhs section of x_solve.
+func (b *Benchmark) assembleLHS(ls *lineScratch, isize int, ds *dirSpec) {
+	ls.lhsinit(isize)
+	t1, t2 := ds.tmp1, ds.tmp2
+	for l := 1; l <= isize-1; l++ {
+		am := blk(ls.aa, l)
+		bm := blk(ls.bb, l)
+		cm := blk(ls.cc, l)
+		fm1 := blk(ls.fjac, l-1)
+		fp1 := blk(ls.fjac, l+1)
+		nm1 := blk(ls.njac, l-1)
+		nc := blk(ls.njac, l)
+		np1 := blk(ls.njac, l+1)
+		for n := 0; n < 5; n++ {
+			for m := 0; m < 5; m++ {
+				e := m + 5*n
+				am[e] = -t2*fm1[e] - t1*nm1[e]
+				bm[e] = t1 * 2.0 * nc[e]
+				cm[e] = t2*fp1[e] - t1*np1[e]
+			}
+		}
+		for m := 0; m < 5; m++ {
+			e := m + 5*m
+			am[e] -= t1 * ds.d[m]
+			bm[e] += 1.0 + t1*2.0*ds.d[m]
+			cm[e] -= t1 * ds.d[m]
+		}
+	}
+}
+
+// solveLine runs the block Thomas elimination over one line whose rhs
+// 5-vectors are located by rhsAt(l).
+func (b *Benchmark) solveLine(ls *lineScratch, isize int, rhsAt func(l int) []float64) {
+	binvcrhs(blk(ls.bb, 0), blk(ls.cc, 0), rhsAt(0))
+	for l := 1; l <= isize-1; l++ {
+		matvecSub(blk(ls.aa, l), rhsAt(l-1), rhsAt(l))
+		matmulSub(blk(ls.aa, l), blk(ls.cc, l-1), blk(ls.bb, l))
+		binvcrhs(blk(ls.bb, l), blk(ls.cc, l), rhsAt(l))
+	}
+	matvecSub(blk(ls.aa, isize), rhsAt(isize-1), rhsAt(isize))
+	matmulSub(blk(ls.aa, isize), blk(ls.cc, isize-1), blk(ls.bb, isize))
+	binvrhs(blk(ls.bb, isize), rhsAt(isize))
+	for l := isize - 1; l >= 0; l-- {
+		r := rhsAt(l)
+		rn := rhsAt(l + 1)
+		cm := blk(ls.cc, l)
+		for m := 0; m < 5; m++ {
+			r[m] -= cm[m+0]*rn[0] + cm[m+5]*rn[1] + cm[m+10]*rn[2] +
+				cm[m+15]*rn[3] + cm[m+20]*rn[4]
+		}
+	}
+}
+
+// xSolve performs the implicit solves along every xi line, planes k
+// split over the team.
+func (b *Benchmark) xSolve(tm *team.Team) {
+	n := b.n
+	isize := n - 1
+	ds := dirSpec{cv: 1, tmp1: b.c.Dt * b.c.Tx1, tmp2: b.c.Dt * b.c.Tx2,
+		d: [5]float64{b.c.Dx1, b.c.Dx2, b.c.Dx3, b.c.Dx4, b.c.Dx5}}
+	tm.Run(func(id int) {
+		klo, khi := team.Block(1, n-1, tm.Size(), id)
+		ls := b.scratch[id]
+		for k := klo; k < khi; k++ {
+			for j := 1; j < n-1; j++ {
+				for i := 0; i <= isize; i++ {
+					b.buildJacobians(ls, i, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
+				}
+				b.assembleLHS(ls, isize, &ds)
+				b.solveLine(ls, isize, func(l int) []float64 {
+					off := b.f.FAt(0, l, j, k)
+					return b.f.Rhs[off : off+5]
+				})
+			}
+		}
+	})
+}
+
+// ySolve performs the implicit solves along every eta line.
+func (b *Benchmark) ySolve(tm *team.Team) {
+	n := b.n
+	jsize := n - 1
+	ds := dirSpec{cv: 2, tmp1: b.c.Dt * b.c.Ty1, tmp2: b.c.Dt * b.c.Ty2,
+		d: [5]float64{b.c.Dy1, b.c.Dy2, b.c.Dy3, b.c.Dy4, b.c.Dy5}}
+	tm.Run(func(id int) {
+		klo, khi := team.Block(1, n-1, tm.Size(), id)
+		ls := b.scratch[id]
+		for k := klo; k < khi; k++ {
+			for i := 1; i < n-1; i++ {
+				for j := 0; j <= jsize; j++ {
+					b.buildJacobians(ls, j, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
+				}
+				b.assembleLHS(ls, jsize, &ds)
+				b.solveLine(ls, jsize, func(l int) []float64 {
+					off := b.f.FAt(0, i, l, k)
+					return b.f.Rhs[off : off+5]
+				})
+			}
+		}
+	})
+}
+
+// zSolve performs the implicit solves along every zeta line, rows j
+// split over the team.
+func (b *Benchmark) zSolve(tm *team.Team) {
+	n := b.n
+	ksize := n - 1
+	ds := dirSpec{cv: 3, tmp1: b.c.Dt * b.c.Tz1, tmp2: b.c.Dt * b.c.Tz2,
+		d: [5]float64{b.c.Dz1, b.c.Dz2, b.c.Dz3, b.c.Dz4, b.c.Dz5}}
+	tm.Run(func(id int) {
+		jlo, jhi := team.Block(1, n-1, tm.Size(), id)
+		ls := b.scratch[id]
+		for j := jlo; j < jhi; j++ {
+			for i := 1; i < n-1; i++ {
+				for k := 0; k <= ksize; k++ {
+					b.buildJacobians(ls, k, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
+				}
+				b.assembleLHS(ls, ksize, &ds)
+				b.solveLine(ls, ksize, func(l int) []float64 {
+					off := b.f.FAt(0, i, j, l)
+					return b.f.Rhs[off : off+5]
+				})
+			}
+		}
+	})
+}
+
+// adi advances one time step, charging each phase to the profile
+// timers when enabled.
+func (b *Benchmark) adi(tm *team.Team) {
+	b.phase("rhs", func() { b.f.ComputeRHS(&b.c, tm) })
+	b.phase("xsolve", func() { b.xSolve(tm) })
+	b.phase("ysolve", func() { b.ySolve(tm) })
+	b.phase("zsolve", func() { b.zSolve(tm) })
+	b.phase("add", func() { b.f.Add(tm) })
+}
+
+// phase runs fn, charging it to the named timer when profiling.
+func (b *Benchmark) phase(name string, fn func()) {
+	if b.timers == nil {
+		fn()
+		return
+	}
+	b.timers.Start(name)
+	fn()
+	b.timers.Stop(name)
+}

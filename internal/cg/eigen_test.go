@@ -1,0 +1,122 @@
+package cg
+
+import (
+	"math"
+	"testing"
+)
+
+// lap1d builds the n x n tridiagonal Laplacian plus c on the diagonal.
+func lap1d(n int, c float64) (rowstr, colidx []int, a []float64) {
+	rowstr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowstr[i] = len(a)
+		if i > 0 {
+			colidx = append(colidx, i-1)
+			a = append(a, -1)
+		}
+		colidx = append(colidx, i)
+		a = append(a, 2+c)
+		if i < n-1 {
+			colidx = append(colidx, i+1)
+			a = append(a, -1)
+		}
+	}
+	rowstr[n] = len(a)
+	return
+}
+
+// diagMatrix builds diag(d1..dn) in CSR form: its spectrum is exactly
+// the diagonal, giving the inverse power method a strong eigen-gap.
+func diagMatrix(d []float64) (rowstr, colidx []int, a []float64) {
+	n := len(d)
+	rowstr = make([]int, n+1)
+	colidx = make([]int, n)
+	a = make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowstr[i] = i
+		colidx[i] = i
+		a[i] = d[i]
+	}
+	rowstr[n] = n
+	return
+}
+
+func TestEstimateSmallestEigenvalueKnownSpectrum(t *testing.T) {
+	d := make([]float64, 60)
+	for i := range d {
+		d[i] = 20.0 + float64(i) // spectrum 20..79 ...
+	}
+	d[0] = 2.0 // ... with an isolated smallest eigenvalue at 2
+	rowstr, colidx, a := diagMatrix(d)
+	res, err := EstimateSmallestEigenvalue(len(d), rowstr, colidx, a, 0, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Eigenvalue-2.0) / 2.0; rel > 1e-10 {
+		t.Fatalf("estimate %v vs exact 2 (rel %v)", res.Eigenvalue, rel)
+	}
+	if len(res.History) != 25 {
+		t.Fatalf("history has %d entries", len(res.History))
+	}
+}
+
+func TestEstimateWithShift(t *testing.T) {
+	// Shifting below the spectrum must converge to the same eigenvalue.
+	d := make([]float64, 40)
+	for i := range d {
+		d[i] = 30.0 + float64(i) // spectrum 30..69 ...
+	}
+	d[0] = 3.0 // ... with an isolated smallest eigenvalue at 3
+	rowstr, colidx, a := diagMatrix(d)
+	r0, err := EstimateSmallestEigenvalue(len(d), rowstr, colidx, a, 0, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := EstimateSmallestEigenvalue(len(d), rowstr, colidx, a, 1.5, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r0.Eigenvalue-r1.Eigenvalue) > 1e-8 {
+		t.Fatalf("shifted estimate %v != unshifted %v", r1.Eigenvalue, r0.Eigenvalue)
+	}
+}
+
+func TestEstimateLaplacianConverges(t *testing.T) {
+	// The 1-D Laplacian + I has a weak eigen-gap; check monotone
+	// convergence toward the exact value rather than tight accuracy.
+	const n = 30
+	rowstr, colidx, a := lap1d(n, 1.0)
+	res, err := EstimateSmallestEigenvalue(n, rowstr, colidx, a, 0, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 1 + 2 - 2*math.Cos(math.Pi/float64(n+1))
+	errLate := math.Abs(res.History[len(res.History)-1] - exact)
+	errEarly := math.Abs(res.History[4] - exact)
+	if errLate > errEarly {
+		t.Fatalf("estimate diverging: early %v late %v", errEarly, errLate)
+	}
+	if rel := errLate / exact; rel > 5e-2 {
+		t.Fatalf("estimate %v too far from exact %v", res.Eigenvalue, exact)
+	}
+}
+
+func TestEstimateRejectsBadInput(t *testing.T) {
+	rowstr, colidx, a := lap1d(10, 1.0)
+	if _, err := EstimateSmallestEigenvalue(11, rowstr, colidx, a, 0, 5, 1); err == nil {
+		t.Fatal("wrong n accepted")
+	}
+	if _, err := EstimateSmallestEigenvalue(10, rowstr, colidx, a, 0, 0, 1); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if _, err := EstimateSmallestEigenvalue(10, rowstr, colidx, a[:len(a)-1], 0, 5, 1); err == nil {
+		t.Fatal("inconsistent CSR accepted")
+	}
+	// Matrix with no stored diagonal cannot be shifted.
+	rs := []int{0, 1, 2}
+	ci := []int{1, 0}
+	av := []float64{1, 1}
+	if _, err := EstimateSmallestEigenvalue(2, rs, ci, av, 0.5, 5, 1); err == nil {
+		t.Fatal("missing diagonal accepted with shift")
+	}
+}

@@ -1,0 +1,172 @@
+// Package ep implements the NPB EP (Embarrassingly Parallel) kernel: it
+// generates pairs of uniform pseudorandom numbers, maps them to Gaussian
+// deviates with the Marsaglia polar method, and tallies the deviates in
+// square annuli. EP is the fifth NPB kernel (the paper lists five
+// kernels; it reports results for the other four, and EP is included
+// here for suite completeness as in NPB2.3/3.0).
+//
+// Independent batches of 2^mk pairs are generated from jumped-ahead
+// generator seeds, which is what makes the kernel embarrassingly
+// parallel: the batch list is statically split over the team and partial
+// sums are combined in deterministic order.
+package ep
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"npbgo/internal/randdp"
+	"npbgo/internal/team"
+	"npbgo/internal/verify"
+)
+
+const (
+	mk    = 16 // batch size exponent: 2^mk pairs per batch
+	nk    = 1 << mk
+	nq    = 10 // number of annuli tallied
+	seed  = 271828183.0
+	amult = randdp.A
+)
+
+// classM maps problem class to the total-pairs exponent m (2^m pairs).
+var classM = map[byte]int{'S': 24, 'W': 25, 'A': 28, 'B': 30, 'C': 32}
+
+// reference sums from the official ep verification, per class.
+var reference = map[byte][2]float64{
+	'S': {-3.247834652034740e+3, -6.958407078382297e+3},
+	'W': {-2.863319731645753e+3, -6.320053679109499e+3},
+	'A': {-4.295875165629892e+3, -1.580732573678431e+4},
+	'B': {4.033815542441498e+4, -2.660669192809235e+4},
+	'C': {4.764367927995374e+4, -8.084072988043731e+4},
+}
+
+// Benchmark is one configured EP instance.
+type Benchmark struct {
+	Class   byte
+	m       int
+	threads int
+}
+
+// Result reports one EP run.
+type Result struct {
+	Sx, Sy  float64        // Gaussian deviate sums
+	Q       [nq]float64    // annulus counts
+	Gc      float64        // total accepted pairs
+	Elapsed time.Duration  // wall time of the timed section
+	Mops    float64        // millions of Gaussian pairs per second scale
+	Verify  *verify.Report // verification outcome
+}
+
+// New configures EP for the given class ('S','W','A','B','C') and thread
+// count.
+func New(class byte, threads int) (*Benchmark, error) {
+	m, ok := classM[class]
+	if !ok {
+		return nil, fmt.Errorf("ep: unknown class %q", string(class))
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("ep: threads %d < 1", threads)
+	}
+	return &Benchmark{Class: class, m: m, threads: threads}, nil
+}
+
+// Pairs returns the total number of random pairs the configured class
+// generates.
+func (b *Benchmark) Pairs() float64 { return math.Pow(2, float64(b.m)) }
+
+// batchState is the per-worker accumulation state, padded apart by
+// being separate values returned from each worker.
+type batchState struct {
+	sx, sy float64
+	q      [nq]float64
+}
+
+// runBatch processes batch index kk (0-based: ep.f iterates k = 1..nn
+// with k_offset = -1, so the first batch starts from the raw seed),
+// starting from the jumped-ahead seed, and accumulates into st. x is the
+// caller-provided scratch of 2*nk doubles.
+func runBatch(kk int, an float64, st *batchState, x []float64) {
+	t1 := seed
+	t2 := an
+	// Find the starting seed for batch kk by binary exponentiation over
+	// the batch index, exactly as ep.f does.
+	for i := 1; i <= 100; i++ {
+		ik := kk / 2
+		if 2*ik != kk {
+			randdp.Randlc(&t1, t2)
+		}
+		if ik == 0 {
+			break
+		}
+		randdp.Randlc(&t2, t2)
+		kk = ik
+	}
+	randdp.Vranlc(2*nk, &t1, amult, x)
+
+	for i := 0; i < nk; i++ {
+		x1 := 2.0*x[2*i] - 1.0
+		x2 := 2.0*x[2*i+1] - 1.0
+		t := x1*x1 + x2*x2
+		if t <= 1.0 {
+			t3 := math.Sqrt(-2.0 * math.Log(t) / t)
+			g1 := x1 * t3
+			g2 := x2 * t3
+			l := int(math.Max(math.Abs(g1), math.Abs(g2)))
+			st.q[l]++
+			st.sx += g1
+			st.sy += g2
+		}
+	}
+}
+
+// Run executes the kernel and returns its result.
+func (b *Benchmark) Run() Result {
+	nn := 1 << (b.m - mk) // number of batches
+
+	// an = a^(2*nk) mod 2^46: mk+1 squarings of a.
+	an := amult
+	for i := 0; i < mk+1; i++ {
+		randdp.Randlc(&an, an)
+	}
+
+	states := make([]batchState, b.threads)
+	tm := team.New(b.threads)
+	defer tm.Close()
+
+	start := time.Now()
+	tm.Run(func(id int) {
+		lo, hi := team.Block(0, nn, b.threads, id)
+		x := make([]float64, 2*nk)
+		for kk := lo; kk < hi; kk++ {
+			runBatch(kk, an, &states[id], x)
+		}
+	})
+	elapsed := time.Since(start)
+
+	var res Result
+	res.Elapsed = elapsed
+	for id := 0; id < b.threads; id++ {
+		res.Sx += states[id].sx
+		res.Sy += states[id].sy
+		for l := 0; l < nq; l++ {
+			res.Q[l] += states[id].q[l]
+		}
+	}
+	for l := 0; l < nq; l++ {
+		res.Gc += res.Q[l]
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.Mops = b.Pairs() * 1e-6 / s
+	}
+
+	rep := &verify.Report{Tier: verify.TierOfficial}
+	if ref, ok := reference[b.Class]; ok {
+		rep.Add("sx", res.Sx, ref[0])
+		rep.Add("sy", res.Sy, ref[1])
+	} else {
+		rep.Tier = verify.TierNone
+	}
+	res.Verify = rep
+	return res
+}

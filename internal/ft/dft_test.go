@@ -1,0 +1,86 @@
+package ft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"npbgo/internal/team"
+)
+
+// naiveDFT3 computes the 3-D DFT by direct summation with sign s —
+// O(N^2), used only as an oracle on tiny grids.
+func naiveDFT3(c cube, in []complex128, s float64) []complex128 {
+	out := make([]complex128, len(in))
+	for ko := 0; ko < c.d3; ko++ {
+		for jo := 0; jo < c.d2; jo++ {
+			for io := 0; io < c.d1; io++ {
+				var sum complex128
+				for ki := 0; ki < c.d3; ki++ {
+					for ji := 0; ji < c.d2; ji++ {
+						for ii := 0; ii < c.d1; ii++ {
+							phase := 2 * math.Pi * s * (float64(io*ii)/float64(c.d1) +
+								float64(jo*ji)/float64(c.d2) +
+								float64(ko*ki)/float64(c.d3))
+							sum += in[c.at(ii, ji, ki)] * cmplx.Exp(complex(0, phase))
+						}
+					}
+				}
+				out[c.at(io, jo, ko)] = sum
+			}
+		}
+	}
+	return out
+}
+
+// TestForwardMatchesNaiveDFT pins the transform's sign convention and
+// correctness against direct summation on a small grid.
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	c := cube{8, 4, 2}
+	in := make([]complex128, c.len())
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i))*0.7, math.Cos(float64(2*i))*0.3)
+	}
+	tm := team.New(1)
+	defer tm.Close()
+
+	got := make([]complex128, len(in))
+	copy(got, in)
+	r1, r2, r3 := fftInit(c.d1), fftInit(c.d2), fftInit(c.d3)
+	cffts1(1, c, got, got, r1, tm)
+	cffts2(1, c, got, got, r2, tm)
+	cffts3(1, c, got, got, r3, tm)
+
+	// The NPB forward transform (is=1) uses exp(+i theta) roots, i.e.
+	// the +1 sign convention.
+	want := naiveDFT3(c, in, +1)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-10*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("element %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInverseMatchesNaiveDFT(t *testing.T) {
+	c := cube{4, 4, 4}
+	in := make([]complex128, c.len())
+	for i := range in {
+		in[i] = complex(float64(i%7)-3, float64(i%3))
+	}
+	tm := team.New(2)
+	defer tm.Close()
+
+	got := make([]complex128, len(in))
+	copy(got, in)
+	r := fftInit(4)
+	cffts3(-1, c, got, got, r, tm)
+	cffts2(-1, c, got, got, r, tm)
+	cffts1(-1, c, got, got, r, tm)
+
+	want := naiveDFT3(c, in, -1)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-10*(1+cmplx.Abs(want[i])) {
+			t.Fatalf("element %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package ft
+
+import (
+	"math"
+	"math/cmplx"
+
+	"npbgo/internal/team"
+)
+
+// fftBlock is the number of pencils transformed together, the cache
+// blocking factor of the Fortran original (fftblock = 16). All NPB grid
+// extents are powers of two >= 32, so it always divides evenly, but
+// partial blocks are handled anyway.
+const fftBlock = 16
+
+// roots holds the precomputed roots-of-unity table of fft_init: for each
+// FFT stage j (sub-transform length ln = 2^(j-1)), the ln roots
+// exp(i*pi*k/ln), stored consecutively as in the Fortran u array.
+type roots struct {
+	m int // log2(n)
+	u []complex128
+}
+
+// fftInit builds the roots table for transforms of length n (power of
+// two), as ft.f's fft_init.
+func fftInit(n int) *roots {
+	m := ilog2(n)
+	r := &roots{m: m, u: make([]complex128, n)}
+	ku := 0
+	ln := 1
+	for j := 1; j <= m; j++ {
+		t := math.Pi / float64(ln)
+		for i := 0; i < ln; i++ {
+			ti := float64(i) * t
+			r.u[ku+i] = complex(math.Cos(ti), math.Sin(ti))
+		}
+		ku += ln
+		ln *= 2
+	}
+	return r
+}
+
+// ilog2 returns log2(n) for a positive power of two.
+func ilog2(n int) int {
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	return m
+}
+
+// workspace is the per-worker pencil scratch: two (block x n) complex
+// buffers laid out pencil-index fastest, matching the Fortran
+// x(fftblock, n) arrays.
+type workspace struct {
+	x, y []complex128
+}
+
+func newWorkspace(maxN int) *workspace {
+	return &workspace{
+		x: make([]complex128, fftBlock*maxN),
+		y: make([]complex128, fftBlock*maxN),
+	}
+}
+
+// fftz2 performs one (or one pair of) Stockham radix-2 stages l of an
+// n-point transform over ny pencils, reading x and writing y, a literal
+// transcription of ft.f's fftz2. is >= 1 selects the forward sign; the
+// inverse uses conjugated roots.
+func fftz2(is, l, m, n, ny int, u []complex128, x, y []complex128) {
+	n1 := n / 2
+	lk := 1 << (l - 1)
+	li := 1 << (m - l)
+	lj := 2 * lk
+	// The Fortran u table stores m in u(1) with roots from u(2), so its
+	// u(li+1+i) is index li+i-1 of this header-less table.
+	ku := li - 1
+	for i := 0; i < li; i++ {
+		i11 := i * lk
+		i12 := i11 + n1
+		i21 := i * lj
+		i22 := i21 + lk
+		u1 := u[ku+i]
+		if is < 1 {
+			u1 = cmplx.Conj(u1)
+		}
+		for k := 0; k < lk; k++ {
+			xo1 := (i11 + k) * fftBlock
+			xo2 := (i12 + k) * fftBlock
+			yo1 := (i21 + k) * fftBlock
+			yo2 := (i22 + k) * fftBlock
+			for j := 0; j < ny; j++ {
+				x11 := x[xo1+j]
+				x21 := x[xo2+j]
+				y[yo1+j] = x11 + x21
+				y[yo2+j] = u1 * (x11 - x21)
+			}
+		}
+	}
+}
+
+// cfftz computes ny simultaneous n-point complex FFTs over the pencils
+// in ws.x (is = 1 forward, is = -1 inverse, unnormalized), leaving the
+// result in ws.x, as ft.f's cfftz.
+func cfftz(is, n, ny int, r *roots, ws *workspace) {
+	m := r.m
+	for l := 1; l <= m; l += 2 {
+		fftz2(is, l, m, n, ny, r.u, ws.x, ws.y)
+		if l == m {
+			// Odd number of stages: result currently in y; copy back.
+			copy(ws.x[:n*fftBlock], ws.y[:n*fftBlock])
+			return
+		}
+		fftz2(is, l+1, m, n, ny, r.u, ws.y, ws.x)
+	}
+}
+
+// cube is the 3-D complex field layout, first index fastest.
+type cube struct{ d1, d2, d3 int }
+
+func (c cube) len() int           { return c.d1 * c.d2 * c.d3 }
+func (c cube) at(i, j, k int) int { return i + c.d1*(j+c.d2*k) }
+
+// cffts1 transforms along the first (contiguous) dimension: for every
+// (j,k) pencil batch, gather into the block scratch, transform, scatter
+// into out. Planes k are split over the team.
+func cffts1(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	n := c.d1
+	tm.ForBlock(0, c.d3, func(klo, khi int) {
+		ws := newWorkspace(n)
+		for k := klo; k < khi; k++ {
+			for j0 := 0; j0 < c.d2; j0 += fftBlock {
+				ny := min(fftBlock, c.d2-j0)
+				for i := 0; i < n; i++ {
+					base := c.at(i, j0, k)
+					for jj := 0; jj < ny; jj++ {
+						ws.x[i*fftBlock+jj] = in[base+jj*c.d1]
+					}
+				}
+				cfftz(is, n, ny, r, ws)
+				for i := 0; i < n; i++ {
+					base := c.at(i, j0, k)
+					for jj := 0; jj < ny; jj++ {
+						out[base+jj*c.d1] = ws.x[i*fftBlock+jj]
+					}
+				}
+			}
+		}
+	})
+}
+
+// cffts2 transforms along the second dimension, batching over i.
+func cffts2(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	n := c.d2
+	tm.ForBlock(0, c.d3, func(klo, khi int) {
+		ws := newWorkspace(n)
+		for k := klo; k < khi; k++ {
+			for i0 := 0; i0 < c.d1; i0 += fftBlock {
+				ny := min(fftBlock, c.d1-i0)
+				for j := 0; j < n; j++ {
+					base := c.at(i0, j, k)
+					for ii := 0; ii < ny; ii++ {
+						ws.x[j*fftBlock+ii] = in[base+ii]
+					}
+				}
+				cfftz(is, n, ny, r, ws)
+				for j := 0; j < n; j++ {
+					base := c.at(i0, j, k)
+					for ii := 0; ii < ny; ii++ {
+						out[base+ii] = ws.x[j*fftBlock+ii]
+					}
+				}
+			}
+		}
+	})
+}
+
+// cffts3 transforms along the third dimension, batching over i, with
+// rows j split over the team.
+func cffts3(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	n := c.d3
+	tm.ForBlock(0, c.d2, func(jlo, jhi int) {
+		ws := newWorkspace(n)
+		for j := jlo; j < jhi; j++ {
+			for i0 := 0; i0 < c.d1; i0 += fftBlock {
+				ny := min(fftBlock, c.d1-i0)
+				for k := 0; k < n; k++ {
+					base := c.at(i0, j, k)
+					for ii := 0; ii < ny; ii++ {
+						ws.x[k*fftBlock+ii] = in[base+ii]
+					}
+				}
+				cfftz(is, n, ny, r, ws)
+				for k := 0; k < n; k++ {
+					base := c.at(i0, j, k)
+					for ii := 0; ii < ny; ii++ {
+						out[base+ii] = ws.x[k*fftBlock+ii]
+					}
+				}
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package ft
+
+import (
+	"fmt"
+
+	"npbgo/internal/team"
+)
+
+// Transform3D computes the unnormalized 3-D discrete Fourier transform
+// (dir = +1) or its unnormalized inverse (dir = -1; divide by nx*ny*nz
+// to invert exactly) of data in place. data holds nx*ny*nz complex
+// values with the first index fastest; each extent must be a power of
+// two. This is the benchmark's FFT machinery exposed as a library
+// routine.
+func Transform3D(dir, nx, ny, nz int, data []complex128, threads int) error {
+	if dir != 1 && dir != -1 {
+		return fmt.Errorf("ft: dir must be +1 or -1, got %d", dir)
+	}
+	for _, n := range [3]int{nx, ny, nz} {
+		if n < 2 || n&(n-1) != 0 {
+			return fmt.Errorf("ft: extent %d is not a power of two >= 2", n)
+		}
+	}
+	if len(data) != nx*ny*nz {
+		return fmt.Errorf("ft: data has %d values, want %d", len(data), nx*ny*nz)
+	}
+	if threads < 1 {
+		return fmt.Errorf("ft: threads %d < 1", threads)
+	}
+	c := cube{nx, ny, nz}
+	r1 := fftInit(nx)
+	r2 := fftInit(ny)
+	r3 := fftInit(nz)
+	tm := team.New(threads)
+	defer tm.Close()
+	if dir == 1 {
+		cffts1(1, c, data, data, r1, tm)
+		cffts2(1, c, data, data, r2, tm)
+		cffts3(1, c, data, data, r3, tm)
+	} else {
+		cffts3(-1, c, data, data, r3, tm)
+		cffts2(-1, c, data, data, r2, tm)
+		cffts1(-1, c, data, data, r1, tm)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package harness drives the experiments of the paper's evaluation
+// section: for each benchmark it runs a serial baseline plus a sweep of
+// thread counts, derives speedup and efficiency, and assembles the
+// rows of Tables 2-6. The same code backs cmd/npbsuite and the
+// regression benchmarks.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"npbgo"
+	"npbgo/internal/report"
+)
+
+// Run is one measured cell of a sweep.
+type Run struct {
+	Threads  int // 0 marks the serial baseline column
+	Elapsed  time.Duration
+	Mops     float64
+	Verified bool
+	Tier     string
+}
+
+// Sweep is the measured row set of one benchmark/class.
+type Sweep struct {
+	Benchmark npbgo.Benchmark
+	Class     byte
+	Runs      []Run
+}
+
+// RunSweep executes benchmark bench at the given class for the serial
+// baseline (threads = 1, regions inline) and each requested thread
+// count. Repeats > 1 keeps the best (minimum) time per cell, as
+// benchmarkers do to suppress scheduling noise.
+func RunSweep(bench npbgo.Benchmark, class byte, threads []int, warmup bool, repeats int) (Sweep, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	sw := Sweep{Benchmark: bench, Class: class}
+	cells := append([]int{0}, threads...)
+	for _, th := range cells {
+		n := th
+		if n == 0 {
+			n = 1
+		}
+		var best *Run
+		for rep := 0; rep < repeats; rep++ {
+			res, err := npbgo.Run(npbgo.Config{Benchmark: bench, Class: class, Threads: n, Warmup: warmup})
+			if err != nil {
+				return sw, err
+			}
+			r := Run{Threads: th, Elapsed: res.Elapsed, Mops: res.Mops,
+				Verified: res.Verified, Tier: res.Tier}
+			if best == nil || r.Elapsed < best.Elapsed {
+				cp := r
+				best = &cp
+			}
+		}
+		sw.Runs = append(sw.Runs, *best)
+	}
+	return sw, nil
+}
+
+// Serial returns the serial baseline cell.
+func (s Sweep) Serial() (Run, bool) {
+	for _, r := range s.Runs {
+		if r.Threads == 0 {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// Speedup returns serial time / threaded time for the given cell.
+func (s Sweep) Speedup(threads int) float64 {
+	base, ok := s.Serial()
+	if !ok {
+		return 0
+	}
+	for _, r := range s.Runs {
+		if r.Threads == threads && r.Elapsed > 0 {
+			return base.Elapsed.Seconds() / r.Elapsed.Seconds()
+		}
+	}
+	return 0
+}
+
+// Efficiency returns Speedup(threads)/threads.
+func (s Sweep) Efficiency(threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	return s.Speedup(threads) / float64(threads)
+}
+
+// SuiteTable renders a set of sweeps as one paper-style table (rows:
+// benchmark.class, columns: serial + thread counts, cells: seconds).
+func SuiteTable(title string, sweeps []Sweep, threads []int) string {
+	header := []string{"Benchmark", "Serial"}
+	for _, t := range threads {
+		header = append(header, fmt.Sprintf("%d", t))
+	}
+	header = append(header, "verified")
+	tb := report.New(title, header...)
+	for _, sw := range sweeps {
+		row := []string{fmt.Sprintf("%s.%c", sw.Benchmark, sw.Class)}
+		ver := "yes"
+		if base, ok := sw.Serial(); ok {
+			row = append(row, report.Seconds(base.Elapsed.Seconds()))
+			if !base.Verified {
+				ver = "no(" + base.Tier + ")"
+			}
+		} else {
+			row = append(row, "-")
+		}
+		for _, t := range threads {
+			found := false
+			for _, r := range sw.Runs {
+				if r.Threads == t {
+					row = append(row, report.Seconds(r.Elapsed.Seconds()))
+					if !r.Verified && ver == "yes" {
+						ver = "no(" + r.Tier + ")"
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, ver)
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}
+
+// SpeedupTable renders speedup and efficiency per thread count.
+func SpeedupTable(title string, sweeps []Sweep, threads []int) string {
+	header := []string{"Benchmark"}
+	for _, t := range threads {
+		header = append(header, fmt.Sprintf("S(%d)", t), fmt.Sprintf("E(%d)", t))
+	}
+	tb := report.New(title, header...)
+	for _, sw := range sweeps {
+		row := []string{fmt.Sprintf("%s.%c", sw.Benchmark, sw.Class)}
+		for _, t := range threads {
+			row = append(row, report.Speedup(sw.Speedup(t)), report.Speedup(sw.Efficiency(t)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}

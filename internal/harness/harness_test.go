@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"npbgo"
+)
+
+func TestRunSweepProducesCells(t *testing.T) {
+	sw, err := RunSweep(npbgo.IS, 'S', []int{1, 2}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Runs) != 3 { // serial + two thread counts
+		t.Fatalf("got %d runs", len(sw.Runs))
+	}
+	base, ok := sw.Serial()
+	if !ok || base.Elapsed <= 0 {
+		t.Fatalf("serial baseline missing or degenerate: %+v", base)
+	}
+	for _, r := range sw.Runs {
+		if !r.Verified {
+			t.Fatalf("run %+v unverified", r)
+		}
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	sw := Sweep{Benchmark: npbgo.CG, Class: 'S', Runs: []Run{
+		{Threads: 0, Elapsed: 8 * time.Second},
+		{Threads: 2, Elapsed: 4 * time.Second},
+		{Threads: 4, Elapsed: 2 * time.Second},
+	}}
+	if s := sw.Speedup(2); s != 2 {
+		t.Fatalf("Speedup(2) = %v", s)
+	}
+	if e := sw.Efficiency(4); e != 1 {
+		t.Fatalf("Efficiency(4) = %v", e)
+	}
+	if sw.Speedup(8) != 0 {
+		t.Fatal("missing cell should give 0 speedup")
+	}
+	if sw.Efficiency(0) != 0 {
+		t.Fatal("zero threads should give 0 efficiency")
+	}
+}
+
+func TestSuiteTableRendering(t *testing.T) {
+	sw := Sweep{Benchmark: npbgo.BT, Class: 'A', Runs: []Run{
+		{Threads: 0, Elapsed: 10 * time.Second, Verified: true, Tier: "official"},
+		{Threads: 2, Elapsed: 6 * time.Second, Verified: true, Tier: "official"},
+	}}
+	out := SuiteTable("T", []Sweep{sw}, []int{2, 4})
+	if !strings.Contains(out, "BT.A") || !strings.Contains(out, "10.0") {
+		t.Fatalf("table missing cells: %q", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell not rendered as '-': %q", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Fatalf("verification column missing: %q", out)
+	}
+}
+
+func TestSpeedupTableRendering(t *testing.T) {
+	sw := Sweep{Benchmark: npbgo.LU, Class: 'S', Runs: []Run{
+		{Threads: 0, Elapsed: 9 * time.Second},
+		{Threads: 3, Elapsed: 3 * time.Second},
+	}}
+	out := SpeedupTable("S", []Sweep{sw}, []int{3})
+	if !strings.Contains(out, "3.00") || !strings.Contains(out, "1.00") {
+		t.Fatalf("speedup/efficiency missing: %q", out)
+	}
+}
+
+func TestUnverifiedMarked(t *testing.T) {
+	sw := Sweep{Benchmark: npbgo.FT, Class: 'B', Runs: []Run{
+		{Threads: 0, Elapsed: time.Second, Verified: false, Tier: "none"},
+	}}
+	out := SuiteTable("T", []Sweep{sw}, nil)
+	if !strings.Contains(out, "no(none)") {
+		t.Fatalf("unverified run not marked: %q", out)
+	}
+}
+
+func TestRunSweepUnknownBenchmark(t *testing.T) {
+	if _, err := RunSweep(npbgo.Benchmark("XX"), 'S', []int{1}, false, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package lu
+
+import "npbgo/internal/team"
+
+// Hyperplane-scheduled SSOR sweeps: the alternative to pipelining that
+// the NPB distribution ships as LU-HP. Points on the diagonal wavefront
+// i+j+k = l depend only on points of wavefront l-1 (l+1 for the upper
+// sweep), so each wavefront is embarrassingly parallel at the cost of a
+// full barrier per wavefront and strided memory access. Both schedules
+// compute bitwise-identical results; the ablation benchmark contrasts
+// their overheads, which is the design choice behind the paper's LU
+// scalability discussion.
+
+// lowerPoint applies the lower-triangular update at one grid point.
+func (b *Benchmark) lowerPoint(ws *sweepScratch, i, j, k int) {
+	off := b.at(i, j, k)
+	okm := b.at(i, j, k-1)
+	ojm := b.at(i, j-1, k)
+	oim := b.at(i-1, j, k)
+
+	b.offDiagBlock(ws, ws.az, okm, 3, -1)
+	b.offDiagBlock(ws, ws.ay, ojm, 2, -1)
+	b.offDiagBlock(ws, ws.ax, oim, 1, -1)
+	b.diagBlock(ws, ws.d, off)
+
+	for m := 0; m < 5; m++ {
+		s := 0.0
+		for l := 0; l < 5; l++ {
+			s += ws.az[m+5*l]*b.rsd[okm+l] +
+				ws.ay[m+5*l]*b.rsd[ojm+l] +
+				ws.ax[m+5*l]*b.rsd[oim+l]
+		}
+		ws.tv[m] = b.rsd[off+m] - omega*s
+	}
+	solve5(ws.d, &ws.tv)
+	for m := 0; m < 5; m++ {
+		b.rsd[off+m] = ws.tv[m]
+	}
+}
+
+// upperPoint applies the upper-triangular update at one grid point.
+func (b *Benchmark) upperPoint(ws *sweepScratch, i, j, k int) {
+	off := b.at(i, j, k)
+	okp := b.at(i, j, k+1)
+	ojp := b.at(i, j+1, k)
+	oip := b.at(i+1, j, k)
+
+	b.offDiagBlock(ws, ws.az, okp, 3, +1)
+	b.offDiagBlock(ws, ws.ay, ojp, 2, +1)
+	b.offDiagBlock(ws, ws.ax, oip, 1, +1)
+	b.diagBlock(ws, ws.d, off)
+
+	for m := 0; m < 5; m++ {
+		s := 0.0
+		for l := 0; l < 5; l++ {
+			s += ws.az[m+5*l]*b.rsd[okp+l] +
+				ws.ay[m+5*l]*b.rsd[ojp+l] +
+				ws.ax[m+5*l]*b.rsd[oip+l]
+		}
+		ws.tv[m] = omega * s
+	}
+	solve5(ws.d, &ws.tv)
+	for m := 0; m < 5; m++ {
+		b.rsd[off+m] -= ws.tv[m]
+	}
+}
+
+// lowerSweepHyperplane runs the lower sweep over increasing wavefronts
+// i+j+k = l, each a complete parallel region (one barrier per front).
+func (b *Benchmark) lowerSweepHyperplane(tm *team.Team) {
+	n := b.n
+	for l := 3; l <= 3*(n-2); l++ {
+		tm.Run(func(id int) {
+			ws := b.scratch[id]
+			jlo, jhi := team.Block(1, n-1, tm.Size(), id)
+			for j := jlo; j < jhi; j++ {
+				for k := 1; k < n-1; k++ {
+					i := l - j - k
+					if i >= 1 && i <= n-2 {
+						b.lowerPoint(ws, i, j, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// upperSweepHyperplane runs the upper sweep over decreasing wavefronts.
+func (b *Benchmark) upperSweepHyperplane(tm *team.Team) {
+	n := b.n
+	for l := 3 * (n - 2); l >= 3; l-- {
+		tm.Run(func(id int) {
+			ws := b.scratch[id]
+			jlo, jhi := team.Block(1, n-1, tm.Size(), id)
+			for j := jlo; j < jhi; j++ {
+				for k := 1; k < n-1; k++ {
+					i := l - j - k
+					if i >= 1 && i <= n-2 {
+						b.upperPoint(ws, i, j, k)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,233 @@
+package mg
+
+import (
+	"math"
+
+	"npbgo/internal/team"
+)
+
+// level describes one grid of the multigrid hierarchy: an (n+2)^3 box
+// (n interior points per side plus periodic ghost shells).
+type level struct {
+	n1, n2, n3 int // box extents including ghosts
+}
+
+func (l level) len() int              { return l.n1 * l.n2 * l.n3 }
+func (l level) at(i1, i2, i3 int) int { return i1 + l.n1*(i2+l.n2*i3) }
+
+// comm3 applies the periodic boundary condition to u by copying the
+// opposite interior faces into the ghost shells (the serial analogue of
+// the MPI ghost exchange, kept as a distinct phase as in mg.f).
+func comm3(u []float64, l level) {
+	n1, n2, n3 := l.n1, l.n2, l.n3
+	for i3 := 1; i3 < n3-1; i3++ {
+		for i2 := 1; i2 < n2-1; i2++ {
+			row := l.at(0, i2, i3)
+			u[row] = u[row+n1-2]
+			u[row+n1-1] = u[row+1]
+		}
+	}
+	for i3 := 1; i3 < n3-1; i3++ {
+		lo := l.at(0, 0, i3)
+		copy(u[lo:lo+n1], u[l.at(0, n2-2, i3):l.at(0, n2-2, i3)+n1])
+		hi := l.at(0, n2-1, i3)
+		copy(u[hi:hi+n1], u[l.at(0, 1, i3):l.at(0, 1, i3)+n1])
+	}
+	plane := n1 * n2
+	copy(u[0:plane], u[(n3-2)*plane:(n3-1)*plane])
+	copy(u[(n3-1)*plane:n3*plane], u[plane:2*plane])
+}
+
+// resid computes r = v - A u on the interior and refreshes r's ghost
+// shells. The 27-point operator is expressed through the two temporary
+// rows u1 (face-neighbour sums) and u2 (edge-neighbour sums) exactly as
+// mg.f's resid; the a[1] term is dropped because a[1] = 0 in every NPB
+// class (the Fortran omits it too).
+func resid(r, u, v []float64, l level, a *[4]float64, tm *team.Team) {
+	n1, n2, n3 := l.n1, l.n2, l.n3
+	tm.ForBlock(1, n3-1, func(k0, k1 int) {
+		u1 := make([]float64, n1)
+		u2 := make([]float64, n1)
+		for i3 := k0; i3 < k1; i3++ {
+			for i2 := 1; i2 < n2-1; i2++ {
+				c := l.at(0, i2, i3)
+				cm2 := l.at(0, i2-1, i3)
+				cp2 := l.at(0, i2+1, i3)
+				cm3 := l.at(0, i2, i3-1)
+				cp3 := l.at(0, i2, i3+1)
+				cmm := l.at(0, i2-1, i3-1)
+				cpm := l.at(0, i2+1, i3-1)
+				cmp := l.at(0, i2-1, i3+1)
+				cpp := l.at(0, i2+1, i3+1)
+				for i1 := 0; i1 < n1; i1++ {
+					u1[i1] = u[cm2+i1] + u[cp2+i1] + u[cm3+i1] + u[cp3+i1]
+					u2[i1] = u[cmm+i1] + u[cpm+i1] + u[cmp+i1] + u[cpp+i1]
+				}
+				for i1 := 1; i1 < n1-1; i1++ {
+					r[c+i1] = v[c+i1] -
+						a[0]*u[c+i1] -
+						a[2]*(u2[i1]+u1[i1-1]+u1[i1+1]) -
+						a[3]*(u2[i1-1]+u2[i1+1])
+				}
+			}
+		}
+	})
+	comm3(r, l)
+}
+
+// psinv applies the smoother u += C r on the interior and refreshes u's
+// ghost shells; c[3] = 0 in every class so its term is dropped, as in
+// mg.f.
+func psinv(r, u []float64, l level, c *[4]float64, tm *team.Team) {
+	n1, n2, n3 := l.n1, l.n2, l.n3
+	tm.ForBlock(1, n3-1, func(k0, k1 int) {
+		r1 := make([]float64, n1)
+		r2 := make([]float64, n1)
+		for i3 := k0; i3 < k1; i3++ {
+			for i2 := 1; i2 < n2-1; i2++ {
+				cc := l.at(0, i2, i3)
+				cm2 := l.at(0, i2-1, i3)
+				cp2 := l.at(0, i2+1, i3)
+				cm3 := l.at(0, i2, i3-1)
+				cp3 := l.at(0, i2, i3+1)
+				cmm := l.at(0, i2-1, i3-1)
+				cpm := l.at(0, i2+1, i3-1)
+				cmp := l.at(0, i2-1, i3+1)
+				cpp := l.at(0, i2+1, i3+1)
+				for i1 := 0; i1 < n1; i1++ {
+					r1[i1] = r[cm2+i1] + r[cp2+i1] + r[cm3+i1] + r[cp3+i1]
+					r2[i1] = r[cmm+i1] + r[cpm+i1] + r[cmp+i1] + r[cpp+i1]
+				}
+				for i1 := 1; i1 < n1-1; i1++ {
+					u[cc+i1] += c[0]*r[cc+i1] +
+						c[1]*(r[cc+i1-1]+r[cc+i1+1]+r1[i1]) +
+						c[2]*(r2[i1]+r1[i1-1]+r1[i1+1])
+				}
+			}
+		}
+	})
+	comm3(u, l)
+}
+
+// rprj3 restricts the fine residual r (level lk) onto the coarse grid s
+// (level lj) with full weighting, then refreshes s's ghost shells.
+func rprj3(r []float64, lk level, s []float64, lj level, tm *team.Team) {
+	d1, d2, d3 := 1, 1, 1
+	if lk.n1 == 3 {
+		d1 = 2
+	}
+	if lk.n2 == 3 {
+		d2 = 2
+	}
+	if lk.n3 == 3 {
+		d3 = 2
+	}
+	m1j, m2j, m3j := lj.n1, lj.n2, lj.n3
+	tm.ForBlock(1, m3j-1, func(j3lo, j3hi int) {
+		x1 := make([]float64, lk.n1)
+		y1 := make([]float64, lk.n1)
+		for j3 := j3lo; j3 < j3hi; j3++ {
+			i3 := 2*(j3+1) - d3 - 1 // 0-based translation of i3 = 2*j3 - d3
+			for j2 := 1; j2 < m2j-1; j2++ {
+				i2 := 2*(j2+1) - d2 - 1
+				for j1 := 1; j1 < m1j; j1++ {
+					i1 := 2*(j1+1) - d1 - 1
+					x1[i1-1] = r[lk.at(i1-1, i2-1, i3)] + r[lk.at(i1-1, i2+1, i3)] +
+						r[lk.at(i1-1, i2, i3-1)] + r[lk.at(i1-1, i2, i3+1)]
+					y1[i1-1] = r[lk.at(i1-1, i2-1, i3-1)] + r[lk.at(i1-1, i2-1, i3+1)] +
+						r[lk.at(i1-1, i2+1, i3-1)] + r[lk.at(i1-1, i2+1, i3+1)]
+				}
+				for j1 := 1; j1 < m1j-1; j1++ {
+					i1 := 2*(j1+1) - d1 - 1
+					y2 := r[lk.at(i1, i2-1, i3-1)] + r[lk.at(i1, i2-1, i3+1)] +
+						r[lk.at(i1, i2+1, i3-1)] + r[lk.at(i1, i2+1, i3+1)]
+					x2 := r[lk.at(i1, i2-1, i3)] + r[lk.at(i1, i2+1, i3)] +
+						r[lk.at(i1, i2, i3-1)] + r[lk.at(i1, i2, i3+1)]
+					s[lj.at(j1, j2, j3)] = 0.5*r[lk.at(i1, i2, i3)] +
+						0.25*(r[lk.at(i1-1, i2, i3)]+r[lk.at(i1+1, i2, i3)]+x2) +
+						0.125*(x1[i1-1]+x1[i1+1]+y2) +
+						0.0625*(y1[i1-1]+y1[i1+1])
+				}
+			}
+		}
+	})
+	comm3(s, lj)
+}
+
+// interp adds the trilinear prolongation of the coarse correction z
+// (level lj) into the fine grid u (level lk). NPB grids always have at
+// least 2 interior points per side at the coarsest level, so only the
+// general branch of mg.f's interp is needed.
+func interp(z []float64, lj level, u []float64, lk level, tm *team.Team) {
+	mm1, mm2, mm3 := lj.n1, lj.n2, lj.n3
+	tm.ForBlock(0, mm3-1, func(i3lo, i3hi int) {
+		z1 := make([]float64, mm1)
+		z2 := make([]float64, mm1)
+		z3 := make([]float64, mm1)
+		for i3 := i3lo; i3 < i3hi; i3++ {
+			for i2 := 0; i2 < mm2-1; i2++ {
+				for i1 := 0; i1 < mm1; i1++ {
+					z1[i1] = z[lj.at(i1, i2+1, i3)] + z[lj.at(i1, i2, i3)]
+					z2[i1] = z[lj.at(i1, i2, i3+1)] + z[lj.at(i1, i2, i3)]
+					z3[i1] = z[lj.at(i1, i2+1, i3+1)] + z[lj.at(i1, i2, i3+1)] + z1[i1]
+				}
+				for i1 := 0; i1 < mm1-1; i1++ {
+					u[lk.at(2*i1, 2*i2, 2*i3)] += z[lj.at(i1, i2, i3)]
+					u[lk.at(2*i1+1, 2*i2, 2*i3)] += 0.5 * (z[lj.at(i1+1, i2, i3)] + z[lj.at(i1, i2, i3)])
+				}
+				for i1 := 0; i1 < mm1-1; i1++ {
+					u[lk.at(2*i1, 2*i2+1, 2*i3)] += 0.5 * z1[i1]
+					u[lk.at(2*i1+1, 2*i2+1, 2*i3)] += 0.25 * (z1[i1] + z1[i1+1])
+				}
+				for i1 := 0; i1 < mm1-1; i1++ {
+					u[lk.at(2*i1, 2*i2, 2*i3+1)] += 0.5 * z2[i1]
+					u[lk.at(2*i1+1, 2*i2, 2*i3+1)] += 0.25 * (z2[i1] + z2[i1+1])
+				}
+				for i1 := 0; i1 < mm1-1; i1++ {
+					u[lk.at(2*i1, 2*i2+1, 2*i3+1)] += 0.25 * z3[i1]
+					u[lk.at(2*i1+1, 2*i2+1, 2*i3+1)] += 0.125 * (z3[i1] + z3[i1+1])
+				}
+			}
+		}
+	})
+}
+
+// norm2u3 returns the discrete L2 norm (scaled by the interior point
+// count nxyz) and the max norm of r's interior.
+func norm2u3(r []float64, l level, nxyz float64, tm *team.Team) (rnm2, rnmu float64) {
+	n1, n2 := l.n1, l.n2
+	maxes := make([]float64, tm.Size())
+	sum := 0.0
+	tm.Run(func(id int) {
+		k0, k1 := team.Block(1, l.n3-1, tm.Size(), id)
+		s, m := 0.0, 0.0
+		for i3 := k0; i3 < k1; i3++ {
+			for i2 := 1; i2 < n2-1; i2++ {
+				c := l.at(0, i2, i3)
+				for i1 := 1; i1 < n1-1; i1++ {
+					v := r[c+i1]
+					s += v * v
+					if a := math.Abs(v); a > m {
+						m = a
+					}
+				}
+			}
+		}
+		*tm.Partial(id) = s
+		maxes[id] = m
+	})
+	sum = tm.PartialSum()
+	for _, m := range maxes {
+		if m > rnmu {
+			rnmu = m
+		}
+	}
+	return math.Sqrt(sum / nxyz), rnmu
+}
+
+// zero3 clears u.
+func zero3(u []float64) {
+	for i := range u {
+		u[i] = 0
+	}
+}

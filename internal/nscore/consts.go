@@ -1,0 +1,128 @@
+package nscore
+
+// ce is the exact-solution coefficient table shared by BT, SP and LU
+// (set_constants in the Fortran sources): dtemp(m) is a cubic polynomial
+// in each of xi, eta, zeta with these coefficients.
+var ce = [5][13]float64{
+	{2.0, 0.0, 0.0, 4.0, 5.0, 3.0, 0.5, 0.02, 0.01, 0.03, 0.5, 0.4, 0.3},
+	{1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 0.01, 0.03, 0.02, 0.4, 0.3, 0.5},
+	{2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.04, 0.03, 0.05, 0.3, 0.5, 0.4},
+	{2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 3.0, 0.03, 0.05, 0.04, 0.2, 0.1, 0.3},
+	{5.0, 4.0, 3.0, 2.0, 0.1, 0.4, 0.3, 0.05, 0.04, 0.03, 0.1, 0.3, 0.2},
+}
+
+// Consts carries every derived constant of set_constants. They are
+// fields (not package globals) so multiple benchmark instances can
+// coexist.
+type Consts struct {
+	C1, C2, C3, C4, C5      float64
+	Dnxm1, Dnym1, Dnzm1     float64
+	C1c2, C1c5, C3c4, C1345 float64
+	Conz1                   float64
+	Tx1, Tx2, Tx3           float64
+	Ty1, Ty2, Ty3           float64
+	Tz1, Tz2, Tz3           float64
+	Dx1, Dx2, Dx3, Dx4, Dx5 float64
+	Dy1, Dy2, Dy3, Dy4, Dy5 float64
+	Dz1, Dz2, Dz3, Dz4, Dz5 float64
+	Dssp, Dt                float64
+	Xxcon1, Xxcon2, Xxcon3  float64
+	Xxcon4, Xxcon5          float64
+	Yycon1, Yycon2, Yycon3  float64
+	Yycon4, Yycon5          float64
+	Zzcon1, Zzcon2, Zzcon3  float64
+	Zzcon4, Zzcon5          float64
+	Dx1tx1, Dx2tx1, Dx3tx1  float64
+	Dx4tx1, Dx5tx1          float64
+	Dy1ty1, Dy2ty1, Dy3ty1  float64
+	Dy4ty1, Dy5ty1          float64
+	Dz1tz1, Dz2tz1, Dz3tz1  float64
+	Dz4tz1, Dz5tz1          float64
+	Con43, Con16, C2iv      float64
+}
+
+// SetConstants mirrors the Fortran set_constants for an n^3 grid with
+// time step dt.
+func SetConstants(n int, dt float64) Consts {
+	var c Consts
+	c.C1, c.C2, c.C3, c.C4, c.C5 = 1.4, 0.4, 0.1, 1.0, 1.4
+	c.Dnxm1 = 1.0 / float64(n-1)
+	c.Dnym1 = 1.0 / float64(n-1)
+	c.Dnzm1 = 1.0 / float64(n-1)
+	c.C1c2 = c.C1 * c.C2
+	c.C1c5 = c.C1 * c.C5
+	c.C3c4 = c.C3 * c.C4
+	c.C1345 = c.C1c5 * c.C3c4
+	c.Conz1 = 1.0 - c.C1c5
+	c.Tx1 = 1.0 / (c.Dnxm1 * c.Dnxm1)
+	c.Tx2 = 1.0 / (2.0 * c.Dnxm1)
+	c.Tx3 = 1.0 / c.Dnxm1
+	c.Ty1 = 1.0 / (c.Dnym1 * c.Dnym1)
+	c.Ty2 = 1.0 / (2.0 * c.Dnym1)
+	c.Ty3 = 1.0 / c.Dnym1
+	c.Tz1 = 1.0 / (c.Dnzm1 * c.Dnzm1)
+	c.Tz2 = 1.0 / (2.0 * c.Dnzm1)
+	c.Tz3 = 1.0 / c.Dnzm1
+	c.Dx1, c.Dx2, c.Dx3, c.Dx4, c.Dx5 = 0.75, 0.75, 0.75, 0.75, 0.75
+	c.Dy1, c.Dy2, c.Dy3, c.Dy4, c.Dy5 = 0.75, 0.75, 0.75, 0.75, 0.75
+	c.Dz1, c.Dz2, c.Dz3, c.Dz4, c.Dz5 = 1.0, 1.0, 1.0, 1.0, 1.0
+	c.Dssp = 0.25 * maxf(c.Dx1, maxf(c.Dy1, c.Dz1))
+	c.Dt = dt
+	c.Con43 = 4.0 / 3.0
+	c.Con16 = 1.0 / 6.0
+	c.C2iv = 2.5
+
+	c3c4tx3 := c.C3c4 * c.Tx3
+	c3c4ty3 := c.C3c4 * c.Ty3
+	c3c4tz3 := c.C3c4 * c.Tz3
+	c.Xxcon1 = c3c4tx3 * c.Con43 * c.Tx3
+	c.Xxcon2 = c3c4tx3 * c.Tx3
+	c.Xxcon3 = c3c4tx3 * c.Conz1 * c.Tx3
+	c.Xxcon4 = c3c4tx3 * c.Con16 * c.Tx3
+	c.Xxcon5 = c3c4tx3 * c.C1c5 * c.Tx3
+	c.Yycon1 = c3c4ty3 * c.Con43 * c.Ty3
+	c.Yycon2 = c3c4ty3 * c.Ty3
+	c.Yycon3 = c3c4ty3 * c.Conz1 * c.Ty3
+	c.Yycon4 = c3c4ty3 * c.Con16 * c.Ty3
+	c.Yycon5 = c3c4ty3 * c.C1c5 * c.Ty3
+	c.Zzcon1 = c3c4tz3 * c.Con43 * c.Tz3
+	c.Zzcon2 = c3c4tz3 * c.Tz3
+	c.Zzcon3 = c3c4tz3 * c.Conz1 * c.Tz3
+	c.Zzcon4 = c3c4tz3 * c.Con16 * c.Tz3
+	c.Zzcon5 = c3c4tz3 * c.C1c5 * c.Tz3
+
+	c.Dx1tx1 = c.Dx1 * c.Tx1
+	c.Dx2tx1 = c.Dx2 * c.Tx1
+	c.Dx3tx1 = c.Dx3 * c.Tx1
+	c.Dx4tx1 = c.Dx4 * c.Tx1
+	c.Dx5tx1 = c.Dx5 * c.Tx1
+	c.Dy1ty1 = c.Dy1 * c.Ty1
+	c.Dy2ty1 = c.Dy2 * c.Ty1
+	c.Dy3ty1 = c.Dy3 * c.Ty1
+	c.Dy4ty1 = c.Dy4 * c.Ty1
+	c.Dy5ty1 = c.Dy5 * c.Ty1
+	c.Dz1tz1 = c.Dz1 * c.Tz1
+	c.Dz2tz1 = c.Dz2 * c.Tz1
+	c.Dz3tz1 = c.Dz3 * c.Tz1
+	c.Dz4tz1 = c.Dz4 * c.Tz1
+	c.Dz5tz1 = c.Dz5 * c.Tz1
+	return c
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExactSolution evaluates the manufactured solution at (xi, eta, zeta)
+// into dtemp, as the Fortran exact_solution.
+func ExactSolution(xi, eta, zeta float64, dtemp *[5]float64) {
+	for m := 0; m < 5; m++ {
+		dtemp[m] = ce[m][0] +
+			xi*(ce[m][1]+xi*(ce[m][4]+xi*(ce[m][7]+xi*ce[m][10]))) +
+			eta*(ce[m][2]+eta*(ce[m][5]+eta*(ce[m][8]+eta*ce[m][11]))) +
+			zeta*(ce[m][3]+zeta*(ce[m][6]+zeta*(ce[m][9]+zeta*ce[m][12])))
+	}
+}

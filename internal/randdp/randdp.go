@@ -1,0 +1,132 @@
+// Package randdp implements the NAS Parallel Benchmarks portable
+// pseudorandom number generator (the Fortran routines randlc and vranlc
+// from NPB2.3-serial), a 48-bit linear congruential generator
+//
+//	x_{k+1} = a * x_k  (mod 2^46)
+//
+// evaluated exactly in IEEE double precision arithmetic. All NPB
+// benchmarks that need random input (EP, CG's makea, FT's initial
+// conditions, IS key generation, MG's zran3) share this generator, so its
+// bit-exact behaviour is what makes benchmark runs deterministic and
+// verifiable across languages — the Java translation studied in the paper
+// uses the same arithmetic.
+package randdp
+
+// Modulus constants: r23 = 2^-23, t23 = 2^23, r46 = 2^-46, t46 = 2^46.
+const (
+	r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
+	t23 = 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0 * 2.0
+	r46 = r23 * r23
+	t46 = t23 * t23
+)
+
+// DefaultSeed is the seed used by most NPB benchmarks.
+const DefaultSeed = 314159265.0
+
+// A is the standard NPB multiplier 5^13.
+const A = 1220703125.0
+
+// Randlc advances *x to the next element of the LCG sequence with
+// multiplier a and returns the result scaled into (0, 1). It is a literal
+// transcription of the NPB randlc function: the 46-bit product a*x is
+// formed from 23-bit halves using only double precision arithmetic.
+func Randlc(x *float64, a float64) float64 {
+	// Break a into two parts such that a = 2^23 * a1 + a2.
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	// Break x into two parts such that x = 2^23 * x1 + x2, compute
+	// z = a1 * x2 + a2 * x1 (mod 2^23), and then
+	// a*x = 2^23 * z + a2 * x2 (mod 2^46).
+	t1 = r23 * *x
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// Vranlc fills y[:n] with the next n elements of the sequence, advancing
+// *x n times. It matches the NPB vranlc routine.
+func Vranlc(n int, x *float64, a float64, y []float64) {
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	for i := 0; i < n; i++ {
+		t1 = r23 * *x
+		x1 := float64(int64(t1))
+		x2 := *x - t23*x1
+		t1 = a1*x2 + a2*x1
+		t2 := float64(int64(r23 * t1))
+		z := t1 - t23*t2
+		t3 := t23*z + a2*x2
+		t4 := float64(int64(r46 * t3))
+		*x = t3 - t46*t4
+		y[i] = r46 * *x
+	}
+}
+
+// Ipow46 computes a^exponent (mod 2^46) in double precision, the NPB
+// ipow46 helper used to jump the generator ahead (e.g. to give each
+// worker thread an independent, reproducible subsequence in EP and FT).
+func Ipow46(a float64, exponent int) float64 {
+	result := 1.0
+	if exponent == 0 {
+		return result
+	}
+	q := a
+	r := 1.0
+	n := exponent
+	for n > 1 {
+		n2 := n / 2
+		if n2*2 == n {
+			Randlc(&q, q) // q = q*q mod 2^46
+			n = n2
+		} else {
+			Randlc(&r, q) // r = r*q mod 2^46
+			n = n - 1
+		}
+	}
+	Randlc(&r, q)
+	return r
+}
+
+// Stream is a convenience wrapper holding generator state, handy for Go
+// callers that prefer methods over the Fortran-style pointer API.
+type Stream struct {
+	x float64
+	a float64
+}
+
+// NewStream returns a Stream seeded with seed and multiplier a.
+// A zero multiplier selects the standard NPB multiplier 5^13.
+func NewStream(seed, a float64) *Stream {
+	if a == 0 {
+		a = A
+	}
+	return &Stream{x: seed, a: a}
+}
+
+// Next returns the next pseudorandom double in (0, 1).
+func (s *Stream) Next() float64 { return Randlc(&s.x, s.a) }
+
+// Fill fills y with len(y) pseudorandom doubles in (0, 1).
+func (s *Stream) Fill(y []float64) { Vranlc(len(y), &s.x, s.a, y) }
+
+// Seed returns the current raw 46-bit state.
+func (s *Stream) Seed() float64 { return s.x }
+
+// Skip jumps the stream ahead by n positions in O(log n) time.
+func (s *Stream) Skip(n int) {
+	if n <= 0 {
+		return
+	}
+	an := Ipow46(s.a, n)
+	Randlc(&s.x, an)
+}

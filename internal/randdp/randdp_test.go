@@ -1,0 +1,146 @@
+package randdp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The generator is fully deterministic; the first few values from the
+// canonical seed/multiplier pair are fixed by the recurrence
+// x_{k+1} = 5^13 x_k mod 2^46 and can be computed independently with
+// exact integer arithmetic. knownSequence does that with math/big-free
+// 128-bit-ish arithmetic using uint64 (5^13 * x fits in 87 bits, so split
+// the multiply).
+func refNext(x uint64) uint64 {
+	const a = 1220703125 // 5^13 < 2^31
+	const mod = uint64(1) << 46
+	// a*x mod 2^46 with x < 2^46: split x into 23-bit halves.
+	lo := x & ((1 << 23) - 1)
+	hi := x >> 23
+	// a*x = a*hi*2^23 + a*lo. a*hi can be up to 2^31*2^23=2^54: fine.
+	return ((a*hi%(1<<23))<<23 + a*lo) % mod
+}
+
+func TestRandlcMatchesIntegerReference(t *testing.T) {
+	x := DefaultSeed
+	xi := uint64(DefaultSeed)
+	for i := 0; i < 10000; i++ {
+		got := Randlc(&x, A)
+		xi = refNext(xi)
+		want := float64(xi) / float64(uint64(1)<<46)
+		if got != want {
+			t.Fatalf("step %d: Randlc = %.17g, integer reference = %.17g", i, got, want)
+		}
+		if uint64(x) != xi {
+			t.Fatalf("step %d: state %v != reference %d", i, x, xi)
+		}
+	}
+}
+
+func TestVranlcMatchesRandlc(t *testing.T) {
+	x1 := DefaultSeed
+	x2 := DefaultSeed
+	const n = 4096
+	y := make([]float64, n)
+	Vranlc(n, &x1, A, y)
+	for i := 0; i < n; i++ {
+		want := Randlc(&x2, A)
+		if y[i] != want {
+			t.Fatalf("element %d: Vranlc = %v, Randlc = %v", i, y[i], want)
+		}
+	}
+	if x1 != x2 {
+		t.Fatalf("final states differ: %v vs %v", x1, x2)
+	}
+}
+
+func TestValuesInUnitInterval(t *testing.T) {
+	s := NewStream(DefaultSeed, 0)
+	for i := 0; i < 100000; i++ {
+		v := s.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("value %d out of (0,1): %v", i, v)
+		}
+	}
+}
+
+func TestIpow46MatchesRepeatedMultiplication(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 100, 12345} {
+		want := 1.0
+		if n > 0 {
+			x := 1.0
+			for i := 0; i < n; i++ {
+				Randlc(&x, A) // x = A^i+1 mod 2^46 since x started at 1
+			}
+			want = x
+		}
+		got := Ipow46(A, n)
+		if got != want {
+			t.Fatalf("Ipow46(A,%d) = %v, repeated mult = %v", n, got, want)
+		}
+	}
+}
+
+func TestStreamSkip(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 1000} {
+		a := NewStream(DefaultSeed, 0)
+		b := NewStream(DefaultSeed, 0)
+		a.Skip(n)
+		for i := 0; i < n; i++ {
+			b.Next()
+		}
+		if a.Seed() != b.Seed() {
+			t.Fatalf("Skip(%d) state %v != %v from %d Next calls", n, a.Seed(), b.Seed(), n)
+		}
+	}
+}
+
+func TestSkipProperty(t *testing.T) {
+	f := func(seed uint32, n uint16) bool {
+		start := float64(seed%100000) + 1
+		a := NewStream(start, 0)
+		b := NewStream(start, 0)
+		k := int(n % 2048)
+		a.Skip(k)
+		for i := 0; i < k; i++ {
+			b.Next()
+		}
+		return a.Seed() == b.Seed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanRoughlyHalf(t *testing.T) {
+	// A weak statistical check: the mean of 1e5 samples should be close
+	// to 0.5 (the generator has period 2^44, uniform over (0,1)).
+	s := NewStream(DefaultSeed, 0)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Next()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func BenchmarkRandlc(b *testing.B) {
+	x := DefaultSeed
+	for i := 0; i < b.N; i++ {
+		Randlc(&x, A)
+	}
+}
+
+func BenchmarkVranlc(b *testing.B) {
+	x := DefaultSeed
+	y := make([]float64, 1024)
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Vranlc(len(y), &x, A, y)
+	}
+}

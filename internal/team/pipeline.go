@@ -1,0 +1,78 @@
+package team
+
+// Pipeline provides the point-to-point ordering used by LU's parallel
+// SSOR sweeps. The lower/upper triangular solves carry a dependence along
+// one grid dimension, so the OpenMP NPB (and the paper's Java port)
+// pipeline them: worker w may process plane k of its block only after
+// worker w-1 has finished plane k of the neighbouring block. The paper
+// identifies exactly this per-plane synchronization inside the k loop as
+// the reason LU scales worse than BT and SP.
+//
+// Each worker owns a buffered channel of tokens; Post(id) publishes "my
+// next plane is done" and Wait(id) consumes the predecessor's token.
+// Tokens are consumed in order, so no plane indices need to travel.
+type Pipeline struct {
+	ready []chan struct{}
+}
+
+// NewPipeline creates pipeline state for a team of n workers processing
+// at most steps ordered stages (typically the number of grid planes in
+// the swept dimension). Buffering channels to steps lets a fast
+// predecessor run ahead without blocking.
+func NewPipeline(n, steps int) *Pipeline {
+	p := &Pipeline{ready: make([]chan struct{}, n)}
+	for i := range p.ready {
+		p.ready[i] = make(chan struct{}, steps)
+	}
+	return p
+}
+
+// Wait blocks worker id until its predecessor (id-1) has posted one more
+// completed stage. Worker 0 has no predecessor and never blocks.
+func (p *Pipeline) Wait(id int) {
+	if id > 0 {
+		<-p.ready[id-1]
+	}
+}
+
+// Post records that worker id has completed one more stage, releasing
+// its successor. The last worker's posts are simply never consumed
+// (the channel is buffered to the full stage count).
+func (p *Pipeline) Post(id int) {
+	if id < len(p.ready)-1 {
+		p.ready[id] <- struct{}{}
+	}
+}
+
+// WaitReverse blocks worker id until its successor (id+1) has posted one
+// completed stage; used by the upper-triangular sweep, which runs the
+// pipeline in the opposite direction.
+func (p *Pipeline) WaitReverse(id int) {
+	if id < len(p.ready)-1 {
+		<-p.ready[id+1]
+	}
+}
+
+// PostReverse records a completed stage for the reverse sweep,
+// releasing worker id-1.
+func (p *Pipeline) PostReverse(id int) {
+	if id > 0 {
+		p.ready[id] <- struct{}{}
+	}
+}
+
+// Drain empties all token channels so the Pipeline can be reused for the
+// next sweep. Call it from a single goroutine between sweeps (e.g. after
+// a team barrier).
+func (p *Pipeline) Drain() {
+	for _, ch := range p.ready {
+		for {
+			select {
+			case <-ch:
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}

@@ -1,0 +1,265 @@
+// Package team implements the master–worker thread-team runtime the
+// translated benchmarks are parallelized with.
+//
+// The paper derives every benchmark class from java.lang.Thread, keeps a
+// fixed set of worker objects alive for the whole run, and has the master
+// switch them between blocked and runnable states with wait()/notify()
+// around each parallel region — a direct imitation of the OpenMP version
+// of the NPB. This package is the Go equivalent: a Team owns a fixed pool
+// of goroutines parked on channels; the master broadcasts a region
+// function to the pool and joins in as worker 0, and a sense-counting
+// barrier provides in-region synchronization. Loop-level work sharing
+// uses the same static block distribution as the OpenMP schedule(static)
+// the paper's prototype used.
+package team
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a fixed pool of workers executing parallel regions on demand.
+// A Team with size 1 runs regions inline on the caller's goroutine, so
+// "1 thread" measures the framework overhead the paper quantifies
+// against the serial code (§5: "Java thread overhead ... contributes no
+// more than 20%").
+type Team struct {
+	n       int
+	work    []chan func(int)
+	done    chan struct{}
+	barrier barrier
+	partial []padded // reduction scratch, one padded slot per worker
+	closed  bool
+
+	inRegion atomic.Bool // guards against nested parallel regions
+}
+
+// padded is a float64 on its own cache line so that per-worker reduction
+// partials do not false-share.
+type padded struct {
+	v float64
+	_ [7]float64
+}
+
+// New creates a team of n workers (n >= 1). Workers other than worker 0
+// are persistent goroutines parked on their work channels, mirroring the
+// paper's always-alive Thread objects in the blocked state. Close the
+// team when done to release them.
+func New(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("team: size %d < 1", n))
+	}
+	t := &Team{
+		n:       n,
+		work:    make([]chan func(int), n),
+		done:    make(chan struct{}, n),
+		partial: make([]padded, n),
+	}
+	t.barrier.init(n)
+	for id := 1; id < n; id++ {
+		t.work[id] = make(chan func(int))
+		go t.worker(id)
+	}
+	return t
+}
+
+func (t *Team) worker(id int) {
+	for fn := range t.work[id] {
+		fn(id)
+		t.done <- struct{}{}
+	}
+}
+
+// Size returns the number of workers in the team.
+func (t *Team) Size() int { return t.n }
+
+// Close shuts the worker goroutines down. The team must be idle (no
+// region in flight). Close is idempotent.
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for id := 1; id < t.n; id++ {
+		close(t.work[id])
+	}
+}
+
+// Run executes fn(id) on every worker, id in [0, Size()), with the
+// caller acting as worker 0 (the master), and returns when all workers
+// have finished — one parallel region with an implicit join, the
+// notify-all/wait-all cycle of the paper's master.
+func (t *Team) Run(fn func(id int)) {
+	if t.closed {
+		panic("team: Run on closed team")
+	}
+	if t.n == 1 {
+		fn(0)
+		return
+	}
+	if !t.inRegion.CompareAndSwap(false, true) {
+		// Starting a region from inside a region would deadlock on the
+		// work channels; fail loudly instead.
+		panic("team: nested parallel regions are not supported")
+	}
+	defer t.inRegion.Store(false)
+	for id := 1; id < t.n; id++ {
+		t.work[id] <- fn
+	}
+	fn(0)
+	for id := 1; id < t.n; id++ {
+		<-t.done
+	}
+}
+
+// Barrier blocks until every worker of the current region has reached
+// it. It must be called by all Size() workers exactly the same number of
+// times inside a region, as with an OpenMP barrier.
+func (t *Team) Barrier() {
+	if t.n > 1 {
+		t.barrier.await()
+	}
+}
+
+// Block computes the static partition of the half-open index range
+// [lo, hi) into parts pieces and returns piece id as [blo, bhi). Ranges
+// are contiguous, cover [lo, hi) exactly, and differ in size by at most
+// one — the schedule(static) distribution of the OpenMP prototype.
+func Block(lo, hi, parts, id int) (blo, bhi int) {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	q, r := n/parts, n%parts
+	blo = lo + id*q
+	if id < r {
+		blo += id
+	} else {
+		blo += r
+	}
+	bhi = blo + q
+	if id < r {
+		bhi++
+	}
+	return blo, bhi
+}
+
+// For runs body(i) for every i in [lo, hi) with iterations statically
+// blocked over the team, as a complete parallel region (fork + join).
+func (t *Team) For(lo, hi int, body func(i int)) {
+	if t.n == 1 {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	t.Run(func(id int) {
+		blo, bhi := Block(lo, hi, t.n, id)
+		for i := blo; i < bhi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlock runs body(blo, bhi) once per worker with that worker's static
+// share of [lo, hi), as a complete parallel region. Benchmarks use this
+// form so the worker can keep its own inner loop nests, exactly like the
+// translated Java run() bodies.
+func (t *Team) ForBlock(lo, hi int, body func(blo, bhi int)) {
+	if t.n == 1 {
+		body(lo, hi)
+		return
+	}
+	t.Run(func(id int) {
+		blo, bhi := Block(lo, hi, t.n, id)
+		body(blo, bhi)
+	})
+}
+
+// ReduceSum runs body over static blocks of [lo, hi), each worker
+// returning its partial sum, and returns the total. Partials are
+// accumulated in deterministic worker order so that a run with a given
+// team size is bit-reproducible.
+func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
+	if t.n == 1 {
+		return body(lo, hi)
+	}
+	t.Run(func(id int) {
+		blo, bhi := Block(lo, hi, t.n, id)
+		t.partial[id].v = body(blo, bhi)
+	})
+	sum := 0.0
+	for id := 0; id < t.n; id++ {
+		sum += t.partial[id].v
+	}
+	return sum
+}
+
+// Partial exposes worker id's reduction slot for regions that manage
+// their own reductions across barriers.
+func (t *Team) Partial(id int) *float64 { return &t.partial[id].v }
+
+// PartialSum adds up all reduction slots in worker order.
+func (t *Team) PartialSum() float64 {
+	sum := 0.0
+	for id := 0; id < t.n; id++ {
+		sum += t.partial[id].v
+	}
+	return sum
+}
+
+// Warmup gives every worker a significant amount of busy work before the
+// timed computation starts. This reproduces the fix of §5.2: on the
+// paper's SGI the JVM ran CG's lightly-loaded threads on only 1–2
+// processors until each thread was given a large initialization load,
+// after which every thread got its own CPU. iters controls the per-worker
+// load; the returned value defeats dead-code elimination.
+func (t *Team) Warmup(iters int) float64 {
+	t.Run(func(id int) {
+		x := 1.0 + float64(id)
+		s := 0.0
+		for i := 0; i < iters; i++ {
+			x = x*1.0000001 + 0.5
+			if x > 2e9 {
+				x *= 0.5
+			}
+			s += x
+		}
+		t.partial[id].v = s
+	})
+	return t.PartialSum()
+}
+
+// barrier is a reusable counting barrier (generation-numbered, the
+// classic sense-reversal scheme expressed with a condition variable; the
+// paper's Java code does the same thing with wait()/notifyAll()).
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func (b *barrier) init(n int) {
+	b.n = n
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

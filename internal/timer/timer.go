@@ -1,0 +1,101 @@
+// Package timer provides the NPB-style set of named stopwatch timers
+// (t_total, t_rhs, ... in the Fortran sources). Each benchmark owns a Set
+// and charges phases to slots; the harness reads the totals to build the
+// per-phase profiles discussed in the paper's profiling sections.
+package timer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Set is a collection of named stopwatch timers. The zero value is not
+// ready to use; create one with NewSet.
+type Set struct {
+	elapsed map[string]time.Duration
+	started map[string]time.Time
+	order   []string
+}
+
+// NewSet returns an empty timer set.
+func NewSet() *Set {
+	return &Set{
+		elapsed: make(map[string]time.Duration),
+		started: make(map[string]time.Time),
+	}
+}
+
+// Clear zeroes the accumulated time of every timer.
+func (s *Set) Clear() {
+	for k := range s.elapsed {
+		delete(s.elapsed, k)
+	}
+	for k := range s.started {
+		delete(s.started, k)
+	}
+	s.order = s.order[:0]
+}
+
+// Start begins (or resumes) the named timer. Starting an already-running
+// timer restarts its current lap without losing accumulated time.
+func (s *Set) Start(name string) {
+	if _, seen := s.elapsed[name]; !seen {
+		s.elapsed[name] = 0
+		s.order = append(s.order, name)
+	}
+	s.started[name] = time.Now()
+}
+
+// Stop ends the current lap of the named timer, adding the lap to its
+// accumulated total. Stopping a timer that is not running is a no-op.
+func (s *Set) Stop(name string) {
+	t0, ok := s.started[name]
+	if !ok {
+		return
+	}
+	delete(s.started, name)
+	s.elapsed[name] += time.Since(t0)
+}
+
+// Elapsed reports the accumulated time of the named timer, excluding any
+// lap still in progress.
+func (s *Set) Elapsed(name string) time.Duration { return s.elapsed[name] }
+
+// Seconds reports Elapsed in seconds, the unit the paper's tables use.
+func (s *Set) Seconds(name string) float64 { return s.elapsed[name].Seconds() }
+
+// Names returns the timer names in first-start order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// String formats the set as an aligned profile table, phases in
+// first-start order, suitable for the per-benchmark profiles.
+func (s *Set) String() string {
+	var b strings.Builder
+	names := s.Names()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-*s %12.6f s\n", width, n, s.Seconds(n))
+	}
+	return b.String()
+}
+
+// SortedByElapsed returns timer names ordered by decreasing accumulated
+// time — the "top phases" view used when profiling a benchmark.
+func (s *Set) SortedByElapsed() []string {
+	names := s.Names()
+	sort.SliceStable(names, func(i, j int) bool {
+		return s.elapsed[names[i]] > s.elapsed[names[j]]
+	})
+	return names
+}

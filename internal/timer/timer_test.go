@@ -1,0 +1,91 @@
+package timer
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartStopAccumulates(t *testing.T) {
+	s := NewSet()
+	s.Start("phase")
+	time.Sleep(5 * time.Millisecond)
+	s.Stop("phase")
+	first := s.Elapsed("phase")
+	if first <= 0 {
+		t.Fatalf("elapsed %v not positive", first)
+	}
+	s.Start("phase")
+	time.Sleep(5 * time.Millisecond)
+	s.Stop("phase")
+	if s.Elapsed("phase") <= first {
+		t.Fatalf("second lap did not accumulate: %v then %v", first, s.Elapsed("phase"))
+	}
+}
+
+func TestStopWithoutStartIsNoop(t *testing.T) {
+	s := NewSet()
+	s.Stop("missing")
+	if s.Elapsed("missing") != 0 {
+		t.Fatalf("unexpected elapsed %v", s.Elapsed("missing"))
+	}
+}
+
+func TestElapsedExcludesRunningLap(t *testing.T) {
+	s := NewSet()
+	s.Start("p")
+	if s.Elapsed("p") != 0 {
+		t.Fatalf("running lap leaked into Elapsed: %v", s.Elapsed("p"))
+	}
+	s.Stop("p")
+}
+
+func TestNamesInFirstStartOrder(t *testing.T) {
+	s := NewSet()
+	for _, n := range []string{"total", "rhs", "xsolve", "rhs"} {
+		s.Start(n)
+		s.Stop(n)
+	}
+	got := s.Names()
+	want := []string{"total", "rhs", "xsolve"}
+	if len(got) != len(want) {
+		t.Fatalf("names %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewSet()
+	s.Start("a")
+	s.Stop("a")
+	s.Clear()
+	if len(s.Names()) != 0 || s.Elapsed("a") != 0 {
+		t.Fatalf("Clear did not reset: names=%v elapsed=%v", s.Names(), s.Elapsed("a"))
+	}
+}
+
+func TestSortedByElapsed(t *testing.T) {
+	s := NewSet()
+	s.Start("short")
+	s.Stop("short")
+	s.Start("long")
+	time.Sleep(3 * time.Millisecond)
+	s.Stop("long")
+	got := s.SortedByElapsed()
+	if got[0] != "long" {
+		t.Fatalf("SortedByElapsed = %v, want long first", got)
+	}
+}
+
+func TestStringContainsNames(t *testing.T) {
+	s := NewSet()
+	s.Start("total")
+	s.Stop("total")
+	if !strings.Contains(s.String(), "total") {
+		t.Fatalf("String() missing timer name: %q", s.String())
+	}
+}

@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckExactMatch(t *testing.T) {
+	if rel, ok := Check(1.25, 1.25, Epsilon); !ok || rel != 0 {
+		t.Fatalf("exact match: rel=%v ok=%v", rel, ok)
+	}
+}
+
+func TestCheckWithinTolerance(t *testing.T) {
+	ref := 17.130235054029
+	if _, ok := Check(ref*(1+1e-9), ref, Epsilon); !ok {
+		t.Fatal("value within 1e-9 rejected")
+	}
+	if _, ok := Check(ref*(1+1e-6), ref, Epsilon); ok {
+		t.Fatal("value off by 1e-6 accepted")
+	}
+}
+
+func TestCheckZeroReferenceUsesAbsolute(t *testing.T) {
+	if _, ok := Check(1e-9, 0, Epsilon); !ok {
+		t.Fatal("tiny absolute error vs zero reference rejected")
+	}
+	if _, ok := Check(1e-3, 0, Epsilon); ok {
+		t.Fatal("large absolute error vs zero reference accepted")
+	}
+}
+
+func TestCheckNaNFails(t *testing.T) {
+	if _, ok := Check(math.NaN(), 1.0, Epsilon); ok {
+		t.Fatal("NaN passed verification")
+	}
+	if _, ok := Check(math.NaN(), 0.0, Epsilon); ok {
+		t.Fatal("NaN vs zero reference passed verification")
+	}
+}
+
+func TestCheckSymmetryProperty(t *testing.T) {
+	// If computed passes against reference, then reference (as computed)
+	// passes against itself, and scaling both by the same factor
+	// preserves the verdict.
+	f := func(raw int32, scaleRaw uint8) bool {
+		ref := float64(raw)/1000 + 1 // avoid zero
+		scale := float64(scaleRaw%100) + 1
+		_, ok1 := Check(ref*(1+5e-9), ref, Epsilon)
+		_, ok2 := Check(scale*ref*(1+5e-9), scale*ref, Epsilon)
+		return ok1 && ok2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportPassedRequiresItems(t *testing.T) {
+	r := &Report{Tier: TierOfficial}
+	if r.Passed() {
+		t.Fatal("empty report passed")
+	}
+	r.Add("x", 1, 1)
+	if !r.Passed() {
+		t.Fatal("matching report failed")
+	}
+	r.Add("y", 1, 2)
+	if r.Passed() || !r.Failed() {
+		t.Fatal("mismatching item not detected")
+	}
+}
+
+func TestReportTierNone(t *testing.T) {
+	r := &Report{Tier: TierNone}
+	r.Add("x", 1, 1)
+	if r.Passed() {
+		t.Fatal("TierNone report must not pass")
+	}
+	if r.Failed() {
+		t.Fatal("TierNone report with matching items must not be failed")
+	}
+	if !strings.Contains(r.String(), "unverified") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Tier: TierGolden}
+	r.Add("zeta", 17.13, 17.13)
+	s := r.String()
+	if !strings.Contains(s, "golden") || !strings.Contains(s, "SUCCESSFUL") {
+		t.Fatalf("String = %q", s)
+	}
+	r.Add("bad", 1, 2)
+	if !strings.Contains(r.String(), "FAILED") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierOfficial.String() != "official" || TierGolden.String() != "golden" || TierNone.String() != "none" {
+		t.Fatal("tier names wrong")
+	}
+}

@@ -1,0 +1,212 @@
+// Package npbgo is a Go implementation of the NAS Parallel Benchmarks
+// (NPB) in the style studied by Frumkin, Schultz, Jin and Yan in
+// "Performance and Scalability of the NAS Parallel Benchmarks in Java":
+// a literal translation of the NPB2.3-serial suite onto linearized
+// arrays, parallelized with a master-worker team of goroutines playing
+// the role of the paper's Java threads.
+//
+// The suite contains the three simulated CFD applications BT, SP and LU
+// and the five kernels FT, MG, CG, IS and EP, each configurable to the
+// standard problem classes S, W, A, B and C and any number of worker
+// threads. Runs end with NPB verification where reference values exist.
+//
+//	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 4})
+package npbgo
+
+import (
+	"fmt"
+	"time"
+
+	"npbgo/internal/bt"
+	"npbgo/internal/cg"
+	"npbgo/internal/ep"
+	"npbgo/internal/ft"
+	"npbgo/internal/is"
+	"npbgo/internal/lu"
+	"npbgo/internal/mg"
+	"npbgo/internal/sp"
+	"npbgo/internal/verify"
+)
+
+// Benchmark names one NPB benchmark.
+type Benchmark string
+
+// The eight NPB benchmarks.
+const (
+	BT Benchmark = "BT" // block-tridiagonal ADI pseudo-application
+	SP Benchmark = "SP" // scalar-pentadiagonal pseudo-application
+	LU Benchmark = "LU" // SSOR pseudo-application
+	FT Benchmark = "FT" // 3-D FFT PDE kernel
+	MG Benchmark = "MG" // V-cycle multigrid kernel
+	CG Benchmark = "CG" // conjugate-gradient kernel
+	IS Benchmark = "IS" // integer-sort kernel
+	EP Benchmark = "EP" // embarrassingly-parallel kernel
+)
+
+// Benchmarks returns the suite in the paper's table order (BT, SP, LU,
+// FT, IS, CG, MG) with EP appended.
+func Benchmarks() []Benchmark {
+	return []Benchmark{BT, SP, LU, FT, IS, CG, MG, EP}
+}
+
+// Classes returns the problem classes in increasing size order.
+func Classes() []byte { return []byte{'S', 'W', 'A', 'B', 'C'} }
+
+// Config selects a benchmark run.
+type Config struct {
+	Benchmark Benchmark
+	Class     byte // 'S', 'W', 'A', 'B' or 'C'
+	Threads   int  // worker count; 1 runs the regions inline (serial)
+	// Warmup gives every worker a large busy-work load before the timed
+	// section, reproducing the CG thread-placement fix of the paper's
+	// §5.2. It currently affects CG only (where the paper applied it).
+	Warmup bool
+	// Profile enables per-phase timing where the benchmark supports it
+	// (BT, SP, LU); the profile text lands in Result.Profile.
+	Profile bool
+	// Buckets selects IS's bucketed ranking algorithm (the C original's
+	// USE_BUCKETS path). Ignored by the other benchmarks.
+	Buckets bool
+}
+
+// Result reports one benchmark run.
+type Result struct {
+	Benchmark Benchmark
+	Class     byte
+	Threads   int
+	Elapsed   time.Duration
+	Mops      float64 // NPB Mop/s figure of merit
+	Verified  bool    // verification compared and passed
+	Failed    bool    // verification compared and mismatched
+	Tier      string  // "official", "golden" or "none"
+	Detail    string  // the full verification printout
+	Profile   string  // per-phase timing profile, if requested/available
+}
+
+func fromReport(r *Result, rep *verify.Report) {
+	r.Verified = rep.Passed()
+	r.Failed = rep.Failed()
+	r.Tier = rep.Tier.String()
+	r.Detail = rep.String()
+}
+
+// Run executes one benchmark run as configured.
+func Run(cfg Config) (Result, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Class == 0 {
+		cfg.Class = 'S'
+	}
+	res := Result{Benchmark: cfg.Benchmark, Class: cfg.Class, Threads: cfg.Threads}
+	switch cfg.Benchmark {
+	case BT:
+		var opts []bt.Option
+		if cfg.Profile {
+			opts = append(opts, bt.WithTimers())
+		}
+		b, err := bt.New(cfg.Class, cfg.Threads, opts...)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		if r.Timers != nil {
+			res.Profile = r.Timers.String()
+		}
+		fromReport(&res, r.Verify)
+	case SP:
+		var opts []sp.Option
+		if cfg.Profile {
+			opts = append(opts, sp.WithTimers())
+		}
+		b, err := sp.New(cfg.Class, cfg.Threads, opts...)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		if r.Timers != nil {
+			res.Profile = r.Timers.String()
+		}
+		fromReport(&res, r.Verify)
+	case LU:
+		var opts []lu.Option
+		if cfg.Profile {
+			opts = append(opts, lu.WithTimers())
+		}
+		b, err := lu.New(cfg.Class, cfg.Threads, opts...)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		if r.Timers != nil {
+			res.Profile = r.Timers.String()
+		}
+		fromReport(&res, r.Verify)
+	case FT:
+		b, err := ft.New(cfg.Class, cfg.Threads)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		fromReport(&res, r.Verify)
+	case MG:
+		b, err := mg.New(cfg.Class, cfg.Threads)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		fromReport(&res, r.Verify)
+	case CG:
+		var opts []cg.Option
+		if cfg.Warmup {
+			opts = append(opts, cg.WithWarmup())
+		}
+		b, err := cg.New(cfg.Class, cfg.Threads, opts...)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		fromReport(&res, r.Verify)
+	case IS:
+		var opts []is.Option
+		if cfg.Buckets {
+			opts = append(opts, is.WithBuckets())
+		}
+		b, err := is.New(cfg.Class, cfg.Threads, opts...)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		fromReport(&res, r.Verify)
+	case EP:
+		b, err := ep.New(cfg.Class, cfg.Threads)
+		if err != nil {
+			return res, err
+		}
+		r := b.Run()
+		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		fromReport(&res, r.Verify)
+	default:
+		return res, fmt.Errorf("npbgo: unknown benchmark %q", cfg.Benchmark)
+	}
+	return res, nil
+}
+
+// String formats a result as one NPB-style summary line.
+func (r Result) String() string {
+	status := "UNVERIFIED"
+	if r.Verified {
+		status = "VERIFIED(" + r.Tier + ")"
+	} else if r.Failed {
+		status = "VERIFICATION FAILED"
+	}
+	return fmt.Sprintf("%s.%c threads=%d time=%.3fs mop/s=%.2f %s",
+		r.Benchmark, r.Class, r.Threads, r.Elapsed.Seconds(), r.Mops, status)
+}

@@ -1,0 +1,55 @@
+package npbgo
+
+import (
+	"npbgo/internal/cg"
+	"npbgo/internal/ft"
+	"npbgo/internal/mg"
+	"npbgo/internal/team"
+)
+
+// This file re-exports the reusable numerical surfaces behind the
+// benchmarks, so downstream code can use the solvers without touching
+// the benchmark drivers.
+
+// PoissonSolver is a periodic 3-D Poisson-type multigrid solver (the MG
+// benchmark's V-cycle as a library).
+type PoissonSolver = mg.Solver
+
+// NewPoissonSolver creates a multigrid solver for an n^3 periodic grid
+// (n a power of two >= 4) using the given number of worker threads.
+func NewPoissonSolver(n, threads int) (*PoissonSolver, error) {
+	return mg.NewSolver(n, threads)
+}
+
+// FFT3D computes the unnormalized 3-D DFT (dir = +1) or unnormalized
+// inverse (dir = -1) of data in place; extents must be powers of two
+// and data holds nx*ny*nz complex values, first index fastest.
+func FFT3D(dir, nx, ny, nz int, data []complex128, threads int) error {
+	return ft.Transform3D(dir, nx, ny, nz, data, threads)
+}
+
+// Team is the master-worker goroutine pool the suite is parallelized
+// with, exposed for building custom parallel computations in the same
+// style (see examples/teamcompute).
+type Team = team.Team
+
+// NewTeam creates a team of n workers; Close it when done.
+func NewTeam(n int) *Team { return team.New(n) }
+
+// BlockRange statically partitions [lo, hi) into parts pieces and
+// returns piece id, as the team's loop scheduler does.
+func BlockRange(lo, hi, parts, id int) (blo, bhi int) {
+	return team.Block(lo, hi, parts, id)
+}
+
+// EigenResult is the outcome of EstimateSmallestEigenvalue.
+type EigenResult = cg.EigenResult
+
+// EstimateSmallestEigenvalue estimates the eigenvalue of a sparse
+// symmetric CSR matrix nearest the given shift using the CG benchmark's
+// inverse power method (25 inner CG iterations per outer step). For a
+// positive-definite matrix a shift of 0 finds the smallest eigenvalue.
+func EstimateSmallestEigenvalue(n int, rowstr, colidx []int, a []float64,
+	shift float64, outerIters, threads int) (EigenResult, error) {
+	return cg.EstimateSmallestEigenvalue(n, rowstr, colidx, a, shift, outerIters, threads)
+}
