@@ -2,16 +2,25 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench suite tables clean
+.PHONY: build test test-race race vet bench suite tables clean
 
 build:
 	$(GO) build ./...
 
-test:
+# Tier-1 path: vet + full test suite.
+test: vet
 	$(GO) test ./...
 
-test-race:
+vet:
+	$(GO) vet ./...
+
+# Race detection on short classes; the robustness-critical packages get
+# a dedicated -race pass even under -short.
+race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/team ./internal/harness ./internal/fault
+
+test-race: race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -2,10 +2,14 @@
 // every benchmark of the suite at one class, timed serial and across a
 // sweep of thread counts, with speedup and efficiency summaries.
 //
-//	npbsuite -class S -threads 1,2,4 -repeats 2
+//	npbsuite -class S -threads 1,2,4 -repeats 2 -timeout 5m -retries 1
 //
 // The paper ran the same sweep on five SMP machines; on a single host
-// the machine axis collapses and one table is produced.
+// the machine axis collapses and one table is produced. The sweep
+// degrades gracefully: a cell that panics, times out (-timeout) or
+// fails verification is retried (-retries, exponential backoff) and, if
+// it still fails, rendered as FAIL(reason) while the rest of the table
+// is produced; npbsuite then exits non-zero at the end.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"npbgo"
 	"npbgo/internal/harness"
@@ -26,6 +31,8 @@ func main() {
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	repeats := flag.Int("repeats", 1, "repetitions per cell (best time kept)")
 	warmup := flag.Bool("warmup", false, "apply the CG warmup fix of §5.2")
+	timeout := flag.Duration("timeout", 0, "per-run deadline, e.g. 5m (0 = unbounded)")
+	retries := flag.Int("retries", 0, "retries per failed run, with exponential backoff")
 	flag.Parse()
 
 	var threads []int
@@ -49,15 +56,25 @@ func main() {
 	fmt.Printf("NPB-Go suite sweep: class %c, GOMAXPROCS=%d, host CPUs=%d\n\n",
 		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
 
+	opt := harness.Options{
+		Warmup:  *warmup,
+		Repeats: *repeats,
+		Timeout: *timeout,
+		Retries: *retries,
+		Backoff: 500 * time.Millisecond,
+	}
 	var sweeps []harness.Sweep
+	failed := false
 	for _, b := range benches {
-		sw, err := harness.RunSweep(b, cl, threads, *warmup, *repeats)
+		sw, err := harness.RunSweepOpts(b, cl, threads, opt)
 		if err != nil {
+			// A failed cell does not abort the suite: report it, keep the
+			// partial sweep, and finish the table.
 			fmt.Fprintf(os.Stderr, "npbsuite: %s: %v\n", b, err)
-			os.Exit(1)
+			failed = true
 		}
 		sweeps = append(sweeps, sw)
-		if base, ok := sw.Serial(); ok {
+		if base, ok := sw.Serial(); ok && base.Err == nil {
 			fmt.Printf("  %s.%c serial %.3fs (%.1f Mop/s)\n", b, cl, base.Elapsed.Seconds(), base.Mops)
 		}
 	}
@@ -67,4 +84,7 @@ func main() {
 		sweeps, threads))
 	fmt.Println()
 	fmt.Print(harness.SpeedupTable("Speedup S(n) and efficiency E(n) over serial", sweeps, threads))
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -12,10 +12,12 @@
 package ep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"npbgo/internal/fault"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/verify"
@@ -46,6 +48,17 @@ type Benchmark struct {
 	Class   byte
 	m       int
 	threads int
+	ctx     context.Context // nil means not cancellable
+}
+
+// Option configures optional benchmark behaviour.
+type Option func(*Benchmark)
+
+// WithContext makes Run cancellable: when ctx expires the team is
+// cancelled and every worker stops at its next batch boundary,
+// returning a partial (unverifiable) result.
+func WithContext(ctx context.Context) Option {
+	return func(b *Benchmark) { b.ctx = ctx }
 }
 
 // Result reports one EP run.
@@ -60,7 +73,7 @@ type Result struct {
 
 // New configures EP for the given class ('S','W','A','B','C') and thread
 // count.
-func New(class byte, threads int) (*Benchmark, error) {
+func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	m, ok := classM[class]
 	if !ok {
 		return nil, fmt.Errorf("ep: unknown class %q", string(class))
@@ -68,7 +81,11 @@ func New(class byte, threads int) (*Benchmark, error) {
 	if threads < 1 {
 		return nil, fmt.Errorf("ep: threads %d < 1", threads)
 	}
-	return &Benchmark{Class: class, m: m, threads: threads}, nil
+	b := &Benchmark{Class: class, m: m, threads: threads}
+	for _, o := range opts {
+		o(b)
+	}
+	return b, nil
 }
 
 // Pairs returns the total number of random pairs the configured class
@@ -133,12 +150,20 @@ func (b *Benchmark) Run() Result {
 	states := make([]batchState, b.threads)
 	tm := team.New(b.threads)
 	defer tm.Close()
+	if b.ctx != nil {
+		stop := tm.WatchContext(b.ctx)
+		defer stop()
+	}
 
 	start := time.Now()
 	tm.Run(func(id int) {
 		lo, hi := team.Block(0, nn, b.threads, id)
 		x := make([]float64, 2*nk)
 		for kk := lo; kk < hi; kk++ {
+			if tm.Cancelled() {
+				return
+			}
+			fault.Maybe("ep.batch")
 			runBatch(kk, an, &states[id], x)
 		}
 	})
@@ -162,7 +187,7 @@ func (b *Benchmark) Run() Result {
 
 	rep := &verify.Report{Tier: verify.TierOfficial}
 	if ref, ok := reference[b.Class]; ok {
-		rep.Add("sx", res.Sx, ref[0])
+		rep.Add("sx", fault.CorruptFloat("ep.verify", res.Sx), ref[0])
 		rep.Add("sy", res.Sy, ref[1])
 	} else {
 		rep.Tier = verify.TierNone

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInactiveIsNoop(t *testing.T) {
+	Reset()
+	Maybe("x") // must not panic
+	if Corrupted("x") {
+		t.Fatal("Corrupted fired with no plan")
+	}
+	if Hits("x") != 0 {
+		t.Fatal("hits counted with no plan")
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no plan")
+	}
+}
+
+func TestPanicFiresOnConfiguredHitOnly(t *testing.T) {
+	Activate(1, Rule{Site: "s", Kind: KindPanic, On: 3})
+	defer Reset()
+	Maybe("s")
+	Maybe("s")
+	func() {
+		defer func() {
+			v := recover()
+			ip, ok := v.(InjectedPanic)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want InjectedPanic", v, v)
+			}
+			if ip.Site != "s" || ip.Hit != 3 {
+				t.Fatalf("InjectedPanic = %+v", ip)
+			}
+		}()
+		Maybe("s")
+		t.Fatal("third hit did not panic")
+	}()
+	// Count defaults to one firing: later hits pass.
+	Maybe("s")
+	if Hits("s") != 4 {
+		t.Fatalf("Hits = %d, want 4", Hits("s"))
+	}
+}
+
+func TestUnlimitedCountFiresEveryHit(t *testing.T) {
+	Activate(1, Rule{Site: "d", Kind: KindDelay, Count: -1, Sleep: time.Microsecond})
+	defer Reset()
+	for i := 0; i < 5; i++ {
+		Maybe("d") // every hit sleeps; just exercising the path
+	}
+	if Hits("d") != 5 {
+		t.Fatalf("Hits = %d", Hits("d"))
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	Activate(1, Rule{Site: "a", Kind: KindPanic})
+	defer Reset()
+	Maybe("b") // different site: no panic
+	if Hits("b") != 1 || Hits("a") != 0 {
+		t.Fatalf("hits a=%d b=%d", Hits("a"), Hits("b"))
+	}
+}
+
+func TestCorruptFloat(t *testing.T) {
+	Activate(1, Rule{Site: "v", Kind: KindCorrupt, On: 2})
+	defer Reset()
+	if got := CorruptFloat("v", 1.5); got != 1.5 {
+		t.Fatalf("hit 1 corrupted: %v", got)
+	}
+	if got := CorruptFloat("v", 1.5); got == 1.5 {
+		t.Fatal("hit 2 not corrupted")
+	}
+	if got := CorruptFloat("v", 1.5); got != 1.5 {
+		t.Fatalf("hit 3 corrupted after Count exhausted: %v", got)
+	}
+}
+
+func TestCorruptRulesInvisibleToMaybe(t *testing.T) {
+	Activate(1, Rule{Site: "m", Kind: KindCorrupt, Count: -1})
+	defer Reset()
+	Maybe("m") // corrupt rules must not fire through Maybe
+	if !Corrupted("m") {
+		t.Fatal("corrupt rule did not fire through Corrupted")
+	}
+}
+
+func TestProbabilityGateIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		Activate(seed, Rule{Site: "p", Kind: KindCorrupt, Count: -1, Prob: 0.5})
+		defer Reset()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, Corrupted("p"))
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := pattern(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 32-hit pattern (suspicious)")
+	}
+}
+
+func TestActivateReplacesPlan(t *testing.T) {
+	Activate(1, Rule{Site: "old", Kind: KindPanic})
+	Activate(1, Rule{Site: "new", Kind: KindCorrupt})
+	defer Reset()
+	Maybe("old") // old rule gone: no panic
+	if !Corrupted("new") {
+		t.Fatal("new rule inactive")
+	}
+}

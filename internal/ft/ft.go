@@ -7,6 +7,7 @@
 package ft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -65,6 +66,7 @@ type Benchmark struct {
 	Class   byte
 	p       params
 	threads int
+	ctx     context.Context // nil means not cancellable
 
 	c          cube
 	u0, u1, u2 []complex128
@@ -72,8 +74,18 @@ type Benchmark struct {
 	r1, r2, r3 *roots
 }
 
+// Option configures optional benchmark behaviour.
+type Option func(*Benchmark)
+
+// WithContext makes Run cancellable: when ctx expires the team is
+// cancelled and the timed iteration loop stops within about one
+// iteration, returning a partial (unverifiable) result.
+func WithContext(ctx context.Context) Option {
+	return func(b *Benchmark) { b.ctx = ctx }
+}
+
 // New configures FT for the given class and thread count.
-func New(class byte, threads int) (*Benchmark, error) {
+func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	p, ok := classes[class]
 	if !ok {
 		return nil, fmt.Errorf("ft: unknown class %q", string(class))
@@ -82,6 +94,9 @@ func New(class byte, threads int) (*Benchmark, error) {
 		return nil, fmt.Errorf("ft: threads %d < 1", threads)
 	}
 	b := &Benchmark{Class: class, p: p, threads: threads}
+	for _, o := range opts {
+		o(b)
+	}
 	b.c = cube{p.nx, p.ny, p.nz}
 	n := b.c.len()
 	b.u0 = make([]complex128, n)
@@ -197,6 +212,10 @@ type Result struct {
 func (b *Benchmark) Run() Result {
 	tm := team.New(b.threads)
 	defer tm.Close()
+	if b.ctx != nil {
+		stop := tm.WatchContext(b.ctx)
+		defer stop()
+	}
 
 	// Untimed warm-up touching all code paths and pages.
 	b.computeIndexMap(tm)
@@ -209,6 +228,9 @@ func (b *Benchmark) Run() Result {
 	b.fft3d(1, b.u1, b.u0, tm)
 	sums := make([]complex128, 0, b.p.niter)
 	for iter := 1; iter <= b.p.niter; iter++ {
+		if tm.Cancelled() {
+			break
+		}
 		b.evolve(tm)
 		b.fft3d(-1, b.u1, b.u2, tm)
 		sums = append(sums, b.checksum(b.u2))
@@ -229,6 +251,9 @@ func (b *Benchmark) Run() Result {
 	rep := &verify.Report{Tier: b.p.tier}
 	if b.p.sums != nil {
 		for i, ref := range b.p.sums {
+			if i >= len(sums) {
+				break // cancelled run: only the completed iterations exist
+			}
 			rep.AddTol(fmt.Sprintf("checksum[%d].re", i+1), real(sums[i]), real(ref), 1e-12)
 			rep.AddTol(fmt.Sprintf("checksum[%d].im", i+1), imag(sums[i]), imag(ref), 1e-12)
 		}

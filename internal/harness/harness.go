@@ -3,13 +3,24 @@
 // thread counts, derives speedup and efficiency, and assembles the
 // rows of Tables 2-6. The same code backs cmd/npbsuite and the
 // regression benchmarks.
+//
+// The harness is fault tolerant, in the shape of a serving stack's
+// timeout/retry/bulkhead plumbing: every cell can be bounded by a
+// per-attempt timeout, failed cells are retried with exponential
+// backoff, and a cell that still fails is recorded as Run{Err: ...} and
+// rendered as FAIL(reason) while the rest of the sweep continues — the
+// paper's long multi-machine sweeps kept failing in partial ways (§5),
+// and one bad cell must not cost the whole table.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"npbgo"
+	"npbgo/internal/fault"
 	"npbgo/internal/report"
 )
 
@@ -20,6 +31,8 @@ type Run struct {
 	Mops     float64
 	Verified bool
 	Tier     string
+	Attempts int   // benchmark executions this cell consumed (retries and repeats included)
+	Err      error // non-nil marks a failed cell (after all retries)
 }
 
 // Sweep is the measured row set of one benchmark/class.
@@ -29,37 +42,136 @@ type Sweep struct {
 	Runs      []Run
 }
 
+// Options tunes sweep execution.
+type Options struct {
+	Warmup  bool          // apply the CG warmup fix of §5.2
+	Repeats int           // repetitions per cell, best time kept; < 1 means 1
+	Timeout time.Duration // per-attempt deadline; 0 means unbounded
+	Retries int           // extra attempts after a failed one, per repeat
+	Backoff time.Duration // first retry delay, doubling each retry; 0 means 100ms
+
+	// sleep replaces time.Sleep between retries; tests inject it to
+	// verify backoff without waiting.
+	sleep func(time.Duration)
+}
+
 // RunSweep executes benchmark bench at the given class for the serial
 // baseline (threads = 1, regions inline) and each requested thread
 // count. Repeats > 1 keeps the best (minimum) time per cell, as
-// benchmarkers do to suppress scheduling noise.
+// benchmarkers do to suppress scheduling noise. It is RunSweepOpts with
+// only Warmup and Repeats set.
 func RunSweep(bench npbgo.Benchmark, class byte, threads []int, warmup bool, repeats int) (Sweep, error) {
+	return RunSweepOpts(bench, class, threads, Options{Warmup: warmup, Repeats: repeats})
+}
+
+// RunSweepOpts executes a sweep under the given options. The sweep
+// degrades gracefully: a cell that fails (after opt.Retries retries per
+// repeat) is recorded with Run.Err set and the remaining cells still
+// run. The returned error joins the per-cell failures, so callers can
+// both render the partial table and report that something went wrong.
+func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options) (Sweep, error) {
+	sw := Sweep{Benchmark: bench, Class: class}
+	var errs []error
+	cells := append([]int{0}, threads...)
+	for _, th := range cells {
+		r := runCell(bench, class, th, opt)
+		if r.Err != nil {
+			cell := fmt.Sprintf("threads=%d", th)
+			if th == 0 {
+				cell = "serial"
+			}
+			errs = append(errs, fmt.Errorf("%s.%c %s: %w", bench, class, cell, r.Err))
+		}
+		sw.Runs = append(sw.Runs, r)
+	}
+	return sw, errors.Join(errs...)
+}
+
+// runCell measures one cell: opt.Repeats repeats (best time kept), each
+// repeat retried with exponential backoff on failure.
+func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
+	n := threads
+	if n == 0 {
+		n = 1 // the serial baseline runs with one inline worker
+	}
+	repeats := opt.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	sw := Sweep{Benchmark: bench, Class: class}
-	cells := append([]int{0}, threads...)
-	for _, th := range cells {
-		n := th
-		if n == 0 {
-			n = 1
+	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n, Warmup: opt.Warmup}
+	var best *Run
+	attempts := 0
+	for rep := 0; rep < repeats; rep++ {
+		res, used, err := runAttempts(cfg, opt)
+		attempts += used
+		if err != nil {
+			return Run{Threads: threads, Attempts: attempts, Err: err}
 		}
-		var best *Run
-		for rep := 0; rep < repeats; rep++ {
-			res, err := npbgo.Run(npbgo.Config{Benchmark: bench, Class: class, Threads: n, Warmup: warmup})
-			if err != nil {
-				return sw, err
-			}
-			r := Run{Threads: th, Elapsed: res.Elapsed, Mops: res.Mops,
-				Verified: res.Verified, Tier: res.Tier}
-			if best == nil || r.Elapsed < best.Elapsed {
-				cp := r
-				best = &cp
-			}
+		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
+			Verified: res.Verified, Tier: res.Tier}
+		if best == nil || r.Elapsed < best.Elapsed {
+			cp := r
+			best = &cp
 		}
-		sw.Runs = append(sw.Runs, *best)
 	}
-	return sw, nil
+	best.Attempts = attempts
+	return *best
+}
+
+// runAttempts runs one measurement, retrying transient failures up to
+// opt.Retries times with exponential backoff. It returns the number of
+// attempts consumed.
+func runAttempts(cfg npbgo.Config, opt Options) (npbgo.Result, int, error) {
+	sleep := opt.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := runOnce(cfg, opt.Timeout)
+		if err == nil {
+			return res, attempt, nil
+		}
+		if attempt > opt.Retries {
+			return res, attempt, err
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// runOnce is a single panic-isolated, optionally deadline-bounded
+// benchmark execution.
+func runOnce(cfg npbgo.Config, timeout time.Duration) (res npbgo.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("harness: cell panicked: %v", v)
+		}
+	}()
+	fault.Maybe("harness.cell")
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return npbgo.RunContext(ctx, cfg)
+}
+
+// failReason compresses a cell error into the short tag rendered inside
+// FAIL(...) table cells.
+func failReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var re *npbgo.RunError
+	if errors.As(err, &re) {
+		return re.Kind
+	}
+	return "error"
 }
 
 // Serial returns the serial baseline cell.
@@ -75,11 +187,11 @@ func (s Sweep) Serial() (Run, bool) {
 // Speedup returns serial time / threaded time for the given cell.
 func (s Sweep) Speedup(threads int) float64 {
 	base, ok := s.Serial()
-	if !ok {
+	if !ok || base.Err != nil {
 		return 0
 	}
 	for _, r := range s.Runs {
-		if r.Threads == threads && r.Elapsed > 0 {
+		if r.Threads == threads && r.Err == nil && r.Elapsed > 0 {
 			return base.Elapsed.Seconds() / r.Elapsed.Seconds()
 		}
 	}
@@ -94,8 +206,18 @@ func (s Sweep) Efficiency(threads int) float64 {
 	return s.Speedup(threads) / float64(threads)
 }
 
+// cellText renders one measured cell: its time in seconds, or
+// FAIL(reason) for a cell that failed after all retries.
+func cellText(r Run) string {
+	if r.Err != nil {
+		return "FAIL(" + failReason(r.Err) + ")"
+	}
+	return report.Seconds(r.Elapsed.Seconds())
+}
+
 // SuiteTable renders a set of sweeps as one paper-style table (rows:
-// benchmark.class, columns: serial + thread counts, cells: seconds).
+// benchmark.class, columns: serial + thread counts, cells: seconds or
+// FAIL(reason)).
 func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 	header := []string{"Benchmark", "Serial"}
 	for _, t := range threads {
@@ -106,10 +228,14 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 	for _, sw := range sweeps {
 		row := []string{fmt.Sprintf("%s.%c", sw.Benchmark, sw.Class)}
 		ver := "yes"
+		anyOK := false
 		if base, ok := sw.Serial(); ok {
-			row = append(row, report.Seconds(base.Elapsed.Seconds()))
-			if !base.Verified {
-				ver = "no(" + base.Tier + ")"
+			row = append(row, cellText(base))
+			if base.Err == nil {
+				anyOK = true
+				if !base.Verified {
+					ver = "no(" + base.Tier + ")"
+				}
 			}
 		} else {
 			row = append(row, "-")
@@ -118,9 +244,12 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 			found := false
 			for _, r := range sw.Runs {
 				if r.Threads == t {
-					row = append(row, report.Seconds(r.Elapsed.Seconds()))
-					if !r.Verified && ver == "yes" {
-						ver = "no(" + r.Tier + ")"
+					row = append(row, cellText(r))
+					if r.Err == nil {
+						anyOK = true
+						if !r.Verified && ver == "yes" {
+							ver = "no(" + r.Tier + ")"
+						}
 					}
 					found = true
 					break
@@ -129,6 +258,9 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 			if !found {
 				row = append(row, "-")
 			}
+		}
+		if !anyOK {
+			ver = "-" // no cell completed, so nothing was verified
 		}
 		row = append(row, ver)
 		tb.AddRow(row...)

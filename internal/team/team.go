@@ -11,13 +11,50 @@
 // barrier provides in-region synchronization. Loop-level work sharing
 // uses the same static block distribution as the OpenMP schedule(static)
 // the paper's prototype used.
+//
+// The runtime is fault-isolating: a panic on any worker is captured with
+// its stack, the barrier is poisoned so sibling workers parked on it
+// unwind instead of deadlocking, and the master re-raises the failure as
+// a typed *PanicError once every worker has rejoined — the process
+// survives and the team remains usable. Cancellation works the same way:
+// Cancel (or a context watched via RunCtx/WatchContext) poisons the
+// barrier, unparks everyone, and makes subsequent regions no-ops; region
+// bodies and benchmark iteration loops poll Cancelled for a prompt stop.
 package team
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"npbgo/internal/fault"
 )
+
+// PanicError reports a panic captured on a team worker during a parallel
+// region. The master re-raises it (Run) or returns it (RunCtx) after all
+// workers have rejoined, so the process survives a worker crash.
+type PanicError struct {
+	ID     int    // id of the first worker that panicked
+	Value  any    // the recovered panic value
+	Stack  []byte // stack of the panicking worker at the panic site
+	Others int    // additional workers that panicked in the same region
+}
+
+func (e *PanicError) Error() string {
+	s := fmt.Sprintf("team: worker %d panicked: %v", e.ID, e.Value)
+	if e.Others > 0 {
+		s += fmt.Sprintf(" (and %d more worker(s))", e.Others)
+	}
+	return s
+}
+
+// regionAbort is the sentinel panicked by a poisoned barrier to unwind
+// workers parked on it; it marks a secondary victim, never the failure
+// itself, so the recover wrapper swallows it.
+type regionAbort struct{}
 
 // Team is a fixed pool of workers executing parallel regions on demand.
 // A Team with size 1 runs regions inline on the caller's goroutine, so
@@ -33,6 +70,15 @@ type Team struct {
 	closed  bool
 
 	inRegion atomic.Bool // guards against nested parallel regions
+
+	halt   atomic.Bool // sticky cancellation flag, read by Cancelled
+	failMu sync.Mutex  // guards regionFail and cancelErr
+	// regionFail is the first real panic of the current region; cleared
+	// when the next region starts.
+	regionFail *PanicError
+	// cancelErr is the sticky reason passed to Cancel; once set the team
+	// refuses to start new regions.
+	cancelErr error
 }
 
 // padded is a float64 on its own cache line so that per-worker reduction
@@ -56,7 +102,7 @@ func New(n int) *Team {
 		done:    make(chan struct{}, n),
 		partial: make([]padded, n),
 	}
-	t.barrier.init(n)
+	t.barrier.init(n, &t.halt)
 	for id := 1; id < n; id++ {
 		t.work[id] = make(chan func(int))
 		go t.worker(id)
@@ -66,16 +112,90 @@ func New(n int) *Team {
 
 func (t *Team) worker(id int) {
 	for fn := range t.work[id] {
-		fn(id)
+		t.runOne(fn, id)
 		t.done <- struct{}{}
 	}
+}
+
+// runOne executes fn(id) with panic isolation: a real panic is recorded
+// as the region's failure (with the worker's stack) and poisons the
+// barrier so parked siblings unwind; the regionAbort sentinel those
+// siblings throw is swallowed here.
+func (t *Team) runOne(fn func(int), id int) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(regionAbort); ok {
+				return // secondary unwind; primary failure already recorded
+			}
+			t.notePanic(id, v, debug.Stack())
+		}
+	}()
+	fault.Maybe("team.region")
+	fn(id)
+}
+
+func (t *Team) notePanic(id int, v any, stack []byte) {
+	t.failMu.Lock()
+	if t.regionFail == nil {
+		t.regionFail = &PanicError{ID: id, Value: v, Stack: stack}
+	} else {
+		t.regionFail.Others++
+	}
+	t.failMu.Unlock()
+	t.barrier.poison()
+}
+
+// Cancel cancels the team: parked workers are unpoisoned off the barrier,
+// in-flight region bodies observe Cancelled() == true, and subsequent
+// regions become no-ops. The first reason sticks; nil means
+// context.Canceled. A cancelled team can still be Closed.
+func (t *Team) Cancel(reason error) {
+	if reason == nil {
+		reason = context.Canceled
+	}
+	t.failMu.Lock()
+	if t.cancelErr == nil {
+		t.cancelErr = reason
+	}
+	t.failMu.Unlock()
+	t.halt.Store(true)
+	t.barrier.poison()
+}
+
+// Cancelled reports whether the team has been cancelled. Region bodies
+// and benchmark iteration loops poll it for a prompt cooperative stop.
+func (t *Team) Cancelled() bool { return t.halt.Load() }
+
+func (t *Team) cancelReason() error {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	return t.cancelErr
+}
+
+// WatchContext cancels the team when ctx is done. It returns a stop
+// function releasing the watcher goroutine; callers typically
+// `defer stop()` for the duration of a benchmark run.
+func (t *Team) WatchContext(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			t.Cancel(ctx.Err())
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
 }
 
 // Size returns the number of workers in the team.
 func (t *Team) Size() int { return t.n }
 
 // Close shuts the worker goroutines down. The team must be idle (no
-// region in flight). Close is idempotent.
+// region in flight); a team whose last region failed or was cancelled is
+// idle once Run/RunCtx has returned. Close is idempotent.
 func (t *Team) Close() {
 	if t.closed {
 		return
@@ -89,14 +209,47 @@ func (t *Team) Close() {
 // Run executes fn(id) on every worker, id in [0, Size()), with the
 // caller acting as worker 0 (the master), and returns when all workers
 // have finished — one parallel region with an implicit join, the
-// notify-all/wait-all cycle of the paper's master.
+// notify-all/wait-all cycle of the paper's master. If any worker
+// panicked, Run re-raises the failure on the master as a *PanicError
+// after the join. On a cancelled team Run is a no-op; callers observe
+// the cancellation through Cancelled().
 func (t *Team) Run(fn func(id int)) {
+	if err := t.run(fn); err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panic(pe)
+		}
+		// Cancellation: the region was skipped or unwound; the caller's
+		// iteration loop is expected to poll Cancelled() and stop.
+	}
+}
+
+// RunCtx is Run with a context: the region is skipped if ctx is already
+// done, the team is cancelled (parked workers unblocked) the moment ctx
+// expires mid-region, and worker panics are returned as a *PanicError
+// instead of being re-raised.
+func (t *Team) RunCtx(ctx context.Context, fn func(id int)) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			t.Cancel(err)
+			return err
+		}
+		stop := t.WatchContext(ctx)
+		defer stop()
+	}
+	return t.run(fn)
+}
+
+func (t *Team) run(fn func(id int)) error {
 	if t.closed {
 		panic("team: Run on closed team")
 	}
+	if t.halt.Load() {
+		return t.cancelReason()
+	}
 	if t.n == 1 {
-		fn(0)
-		return
+		t.runOne(fn, 0)
+		return t.takeFailure()
 	}
 	if !t.inRegion.CompareAndSwap(false, true) {
 		// Starting a region from inside a region would deadlock on the
@@ -104,18 +257,48 @@ func (t *Team) Run(fn func(id int)) {
 		panic("team: nested parallel regions are not supported")
 	}
 	defer t.inRegion.Store(false)
+	t.resetRegion()
 	for id := 1; id < t.n; id++ {
 		t.work[id] <- fn
 	}
-	fn(0)
+	t.runOne(fn, 0)
 	for id := 1; id < t.n; id++ {
 		<-t.done
 	}
+	return t.takeFailure()
+}
+
+// resetRegion clears the previous region's failure state. The sticky
+// cancellation flag is deliberately not cleared: the barrier's halt
+// pointer keeps a cancelled team poisoned forever, so a cancellation
+// racing with region start can never be lost.
+func (t *Team) resetRegion() {
+	t.failMu.Lock()
+	t.regionFail = nil
+	t.failMu.Unlock()
+	t.barrier.reset()
+}
+
+func (t *Team) takeFailure() error {
+	t.failMu.Lock()
+	pe := t.regionFail
+	t.regionFail = nil
+	cancel := t.cancelErr
+	t.failMu.Unlock()
+	if pe != nil {
+		return pe
+	}
+	if cancel != nil {
+		return cancel
+	}
+	return nil
 }
 
 // Barrier blocks until every worker of the current region has reached
 // it. It must be called by all Size() workers exactly the same number of
-// times inside a region, as with an OpenMP barrier.
+// times inside a region, as with an OpenMP barrier. If the region failed
+// or the team was cancelled, Barrier unwinds the calling worker instead
+// of deadlocking.
 func (t *Team) Barrier() {
 	if t.n > 1 {
 		t.barrier.await()
@@ -126,7 +309,11 @@ func (t *Team) Barrier() {
 // [lo, hi) into parts pieces and returns piece id as [blo, bhi). Ranges
 // are contiguous, cover [lo, hi) exactly, and differ in size by at most
 // one — the schedule(static) distribution of the OpenMP prototype.
+// parts must be at least 1.
 func Block(lo, hi, parts, id int) (blo, bhi int) {
+	if parts < 1 {
+		panic(fmt.Sprintf("team: Block called with parts %d < 1 (range [%d,%d))", parts, lo, hi))
+	}
 	n := hi - lo
 	if n < 0 {
 		n = 0
@@ -233,22 +420,56 @@ func (t *Team) Warmup(iters int) float64 {
 
 // barrier is a reusable counting barrier (generation-numbered, the
 // classic sense-reversal scheme expressed with a condition variable; the
-// paper's Java code does the same thing with wait()/notifyAll()).
+// paper's Java code does the same thing with wait()/notifyAll()). It is
+// poisonable: after poison() every waiter — present and future — panics
+// with the regionAbort sentinel instead of blocking, which is how a
+// failed or cancelled region unparks its workers. reset() re-arms the
+// barrier for the next region; the team-level halt flag stays in force
+// so cancellation survives resets.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool         // per-region poison (a worker panicked)
+	halt   *atomic.Bool // sticky team cancellation, never cleared here
 }
 
-func (b *barrier) init(n int) {
+func (b *barrier) init(n int, halt *atomic.Bool) {
 	b.n = n
+	b.halt = halt
 	b.cond = sync.NewCond(&b.mu)
+}
+
+// poison wakes every waiter and makes future await calls unwind.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms the barrier between regions. Only per-region poison is
+// cleared; a halted (cancelled) team stays poisoned through *halt.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.gen++
+	b.broken = false
+	b.mu.Unlock()
+}
+
+func (b *barrier) poisoned() bool {
+	return b.broken || b.halt.Load()
 }
 
 func (b *barrier) await() {
 	b.mu.Lock()
+	if b.poisoned() {
+		b.mu.Unlock()
+		panic(regionAbort{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -258,8 +479,12 @@ func (b *barrier) await() {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.poisoned() {
 		b.cond.Wait()
 	}
+	bad := b.poisoned()
 	b.mu.Unlock()
+	if bad {
+		panic(regionAbort{})
+	}
 }

@@ -14,6 +14,8 @@
 package npbgo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"npbgo/internal/lu"
 	"npbgo/internal/mg"
 	"npbgo/internal/sp"
+	"npbgo/internal/team"
 	"npbgo/internal/verify"
 )
 
@@ -90,8 +93,70 @@ func fromReport(r *Result, rep *verify.Report) {
 	r.Detail = rep.String()
 }
 
-// Run executes one benchmark run as configured.
+// RunError is the structured failure of a benchmark run: it carries the
+// benchmark/class/threads context of the failing cell plus a Kind
+// classifying the failure, and wraps the underlying cause (for example a
+// *team.PanicError or a context error) for errors.Is/As.
+type RunError struct {
+	Benchmark Benchmark
+	Class     byte
+	Threads   int
+	Kind      string // one of the Err* kind constants
+	Cause     error
+}
+
+// RunError kinds.
+const (
+	ErrConfig       = "config"       // invalid Config (bad class, thread count, benchmark)
+	ErrPanic        = "panic"        // a panic (e.g. on a team worker) was recovered
+	ErrCancelled    = "cancelled"    // the context was cancelled or its deadline passed
+	ErrVerification = "verification" // the run completed but NPB verification mismatched
+)
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("npbgo: %s.%c threads=%d: %s: %v",
+		e.Benchmark, e.Class, e.Threads, e.Kind, e.Cause)
+}
+
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// Run executes one benchmark run as configured. It is
+// RunContext(context.Background(), cfg).
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+func validClass(c byte) bool {
+	for _, k := range Classes() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+func validBenchmark(b Benchmark) bool {
+	for _, k := range Benchmarks() {
+		if b == k {
+			return true
+		}
+	}
+	return false
+}
+
+// RunContext executes one benchmark run under a context. The
+// configuration is validated up front, worker panics are isolated and
+// returned (never propagated — the process survives a crashing region),
+// and the kernels that support cooperative cancellation (CG, EP, FT, MG)
+// stop within roughly one outer iteration of ctx expiring. All failures
+// come back as a *RunError identifying the cell and the failure kind.
+//
+// On cancellation the returned Result holds whatever partial timing was
+// accumulated; it is not meaningful for reporting.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 1
 	}
@@ -99,6 +164,53 @@ func Run(cfg Config) (Result, error) {
 		cfg.Class = 'S'
 	}
 	res := Result{Benchmark: cfg.Benchmark, Class: cfg.Class, Threads: cfg.Threads}
+	fail := func(kind string, cause error) (Result, error) {
+		return res, &RunError{Benchmark: cfg.Benchmark, Class: cfg.Class,
+			Threads: cfg.Threads, Kind: kind, Cause: cause}
+	}
+	if cfg.Threads < 1 {
+		return fail(ErrConfig, fmt.Errorf("threads %d < 1", cfg.Threads))
+	}
+	if !validClass(cfg.Class) {
+		return fail(ErrConfig, fmt.Errorf("unknown class %q (want S, W, A, B or C)", string(cfg.Class)))
+	}
+	if !validBenchmark(cfg.Benchmark) {
+		return fail(ErrConfig, fmt.Errorf("unknown benchmark %q", cfg.Benchmark))
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(ErrCancelled, err)
+	}
+	err, panicked := runBenchmark(ctx, cfg, &res)
+	if panicked {
+		return fail(ErrPanic, err)
+	}
+	if err != nil {
+		return fail(ErrConfig, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(ErrCancelled, err)
+	}
+	if res.Failed {
+		return fail(ErrVerification, errors.New("verification mismatch (see Result.Detail)"))
+	}
+	return res, nil
+}
+
+// runBenchmark dispatches to the benchmark implementation with panic
+// isolation: any panic escaping the run — a *team.PanicError re-raised
+// by a crashed worker region, or a master-side panic — is recovered and
+// returned with panicked = true.
+func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked = true
+			if pe, ok := v.(*team.PanicError); ok {
+				err = pe
+			} else {
+				err = fmt.Errorf("panic: %v", v)
+			}
+		}
+	}()
 	switch cfg.Benchmark {
 	case BT:
 		var opts []bt.Option
@@ -107,14 +219,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		b, err := bt.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		if r.Timers != nil {
 			res.Profile = r.Timers.String()
 		}
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case SP:
 		var opts []sp.Option
 		if cfg.Profile {
@@ -122,14 +234,14 @@ func Run(cfg Config) (Result, error) {
 		}
 		b, err := sp.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		if r.Timers != nil {
 			res.Profile = r.Timers.String()
 		}
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case LU:
 		var opts []lu.Option
 		if cfg.Profile {
@@ -137,42 +249,42 @@ func Run(cfg Config) (Result, error) {
 		}
 		b, err := lu.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		if r.Timers != nil {
 			res.Profile = r.Timers.String()
 		}
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case FT:
-		b, err := ft.New(cfg.Class, cfg.Threads)
+		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx))
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case MG:
-		b, err := mg.New(cfg.Class, cfg.Threads)
+		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx))
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case CG:
-		var opts []cg.Option
+		opts := []cg.Option{cg.WithContext(ctx)}
 		if cfg.Warmup {
 			opts = append(opts, cg.WithWarmup())
 		}
 		b, err := cg.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case IS:
 		var opts []is.Option
 		if cfg.Buckets {
@@ -180,23 +292,23 @@ func Run(cfg Config) (Result, error) {
 		}
 		b, err := is.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	case EP:
-		b, err := ep.New(cfg.Class, cfg.Threads)
+		b, err := ep.New(cfg.Class, cfg.Threads, ep.WithContext(ctx))
 		if err != nil {
-			return res, err
+			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		fromReport(&res, r.Verify)
+		fromReport(res, r.Verify)
 	default:
-		return res, fmt.Errorf("npbgo: unknown benchmark %q", cfg.Benchmark)
+		return fmt.Errorf("npbgo: unknown benchmark %q", cfg.Benchmark), false
 	}
-	return res, nil
+	return nil, false
 }
 
 // String formats a result as one NPB-style summary line.
