@@ -1,18 +1,31 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet bench suite tables clean
+.PHONY: build test test-race race vet lint bench suite tables clean
 
 build:
 	$(GO) build ./...
 
-# Tier-1 path: vet + full test suite.
-test: vet
+# Tier-1 path: vet + npblint + full test suite.
+test: vet lint
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# npblint: the project's own go/analysis suite (cmd/npblint), run
+# through `go vet -vettool` so test files are covered too. Suppress a
+# finding with `//npblint:ignore <analyzer> <reason>`.
+lint: $(NPBLINT)
+	$(GO) vet -vettool=$(abspath $(NPBLINT)) ./...
+
+$(NPBLINT): FORCE
+	$(GO) build -o $(NPBLINT) ./cmd/npblint
+
+.PHONY: FORCE
+FORCE:
 
 # Race detection on short classes; the robustness-critical packages get
 # a dedicated -race pass even under -short.
@@ -39,3 +52,4 @@ tables:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

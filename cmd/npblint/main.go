@@ -1,0 +1,175 @@
+// Command npblint runs the npbgo static-analysis suite: the
+// team-parallelism and linearized-array invariant checkers described in
+// DESIGN.md §7.
+//
+// Two modes share the same analyzers:
+//
+//	npblint [-list] [packages]      standalone; packages default to ./...
+//	go vet -vettool=$(realpath npblint) ./...   unit mode, driven by go vet
+//
+// Unit mode implements the vettool command-line protocol (-V=full,
+// -flags, unit.cfg) and additionally covers _test.go files, since go
+// vet analyzes test variants of each package. Findings are suppressed
+// by a trailing or preceding comment of the form
+//
+//	//npblint:ignore <analyzer> <reason>
+//
+// Per-analyzer boolean flags (-gridindex=false, ...) select or deselect
+// individual checks, as with the x/tools multichecker.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"npbgo/internal/analysis"
+	"npbgo/internal/analysis/driver"
+	"npbgo/internal/analysis/npblint"
+)
+
+func main() {
+	all := npblint.Analyzers()
+
+	// The -V, -flags and per-analyzer flags form the go vet tool
+	// protocol; they must exist before flag.Parse.
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	enabled := make(map[string]*string)
+	for _, a := range all {
+		enabled[a.Name] = flag.String(a.Name, "", "enable/disable the "+a.Name+" analyzer (true/false)")
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: npblint [flags] [package patterns | unit.cfg]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		return
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := selectAnalyzers(all, enabled)
+	args := flag.Args()
+
+	// Unit mode: go vet hands us exactly one *.cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		n, err := driver.RunUnit(os.Stderr, args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Standalone mode.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
+		os.Exit(1)
+	}
+	findings, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies the multichecker flag convention: if any
+// -name=true flag is set, run only those; otherwise run all except the
+// -name=false ones.
+func selectAnalyzers(all []*analysis.Analyzer, enabled map[string]*string) []*analysis.Analyzer {
+	anyTrue := false
+	for _, v := range enabled {
+		if *v == "true" {
+			anyTrue = true
+		}
+	}
+	var keep []*analysis.Analyzer
+	for _, a := range all {
+		v := *enabled[a.Name]
+		if anyTrue && v != "true" {
+			continue
+		}
+		if v == "false" {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	return keep
+}
+
+// printFlags describes our flags in the JSON form go vet consumes to
+// validate the flags it forwards.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol go vet uses to fingerprint
+// the tool for build caching: print a line containing the executable
+// hash and exit.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

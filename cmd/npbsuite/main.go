@@ -10,6 +10,9 @@
 // fails verification is retried (-retries, exponential backoff) and, if
 // it still fails, rendered as FAIL(reason) while the rest of the table
 // is produced; npbsuite then exits non-zero at the end.
+//
+// -list-faults prints the registered fault injection site keys (the
+// same registry the npblint faultsite analyzer checks) and exits.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"npbgo"
+	"npbgo/internal/fault"
 	"npbgo/internal/harness"
 )
 
@@ -33,7 +37,15 @@ func main() {
 	warmup := flag.Bool("warmup", false, "apply the CG warmup fix of §5.2")
 	timeout := flag.Duration("timeout", 0, "per-run deadline, e.g. 5m (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retries per failed run, with exponential backoff")
+	listFaults := flag.Bool("list-faults", false, "print the registered fault injection site keys and exit")
 	flag.Parse()
+
+	if *listFaults {
+		for _, site := range fault.Sites() {
+			fmt.Println(site)
+		}
+		return
+	}
 
 	var threads []int
 	for _, tok := range strings.Split(*threadsFlag, ",") {

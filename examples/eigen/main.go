@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"npbgo"
+	"npbgo/internal/grid"
 )
 
 func main() {
@@ -17,7 +18,8 @@ func main() {
 	n := m * m * m
 
 	// Assemble the 7-point Laplacian in CSR form.
-	idx := func(i, j, k int) int { return i + m*(j+m*k) }
+	dim := grid.Dim3{N1: m, N2: m, N3: m}
+	idx := dim.At
 	rowstr := make([]int, n+1)
 	var colidx []int
 	var a []float64

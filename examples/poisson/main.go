@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"npbgo"
+	"npbgo/internal/grid"
 )
 
 func main() {
@@ -23,7 +24,8 @@ func main() {
 	// Right-hand side: +1 and -1 point charges (zero mean, so the
 	// periodic problem is well posed).
 	rhs := make([]float64, n*n*n)
-	at := func(i, j, k int) int { return i + n*(j+n*k) }
+	dim := grid.Dim3{N1: n, N2: n, N3: n}
+	at := dim.At
 	rhs[at(16, 16, 16)] = 1.0
 	rhs[at(48, 48, 48)] = -1.0
 

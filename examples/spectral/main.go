@@ -12,6 +12,7 @@ import (
 	"math/cmplx"
 
 	"npbgo"
+	"npbgo/internal/grid"
 )
 
 func main() {
@@ -25,7 +26,8 @@ func main() {
 	// Initial condition: a single mode sin(2*pi*3x)*cos(2*pi*2y), whose
 	// exact solution decays as exp(-alpha*(2*pi)^2*(3^2+2^2)*t).
 	data := make([]complex128, ntotal)
-	idx := func(i, j, k int) int { return i + nx*(j+ny*k) }
+	dim := grid.Dim3{N1: nx, N2: ny, N3: nz}
+	idx := dim.At
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
 			for i := 0; i < nx; i++ {

@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over golden fixture files and
+// checks its diagnostics against expectations embedded in the fixtures,
+// mirroring the x/tools package of the same name.
+//
+// A fixture directory (conventionally testdata/ next to the analyzer)
+// holds ordinary Go files that are parsed and type-checked — they may
+// import real npbgo packages — but are never built by the go tool, so
+// deliberately-buggy parallel code in them is harmless. Expected
+// diagnostics are written as trailing comments:
+//
+//	tm.Barrier() // want `conditionally reached`
+//
+// Each `want` clause is a regular expression (backquoted or quoted)
+// that must match exactly one diagnostic reported on that line; lines
+// without a want comment must produce no diagnostics. Suppression
+// comments (//npblint:ignore) are honored, so fixtures can also pin the
+// suppression behaviour.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"npbgo/internal/analysis"
+	"npbgo/internal/analysis/driver"
+)
+
+// Run analyzes the fixture files in dir with a and reports mismatches
+// between its diagnostics and the fixtures' want comments on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+
+	pkg, err := driver.LoadFiles(dir, "npbgo/internal/analysis/fixture/"+a.Name, files)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, f := range findings {
+		key := fileLine{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE extracts the expectation clauses of one comment: the text
+// after a `// want` marker, as a sequence of Go string literals.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// parseWants scans the fixture files for want comments.
+func parseWants(files []string) (map[fileLine][]*want, error) {
+	wants := make(map[fileLine][]*want)
+	fset := token.NewFileSet()
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var sc scanner.Scanner
+		file := fset.AddFile(name, fset.Base(), len(src))
+		sc.Init(file, src, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := sc.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			m := wantRE.FindStringSubmatch(lit)
+			if m == nil {
+				continue
+			}
+			position := fset.Position(pos)
+			key := fileLine{position.Filename, position.Line}
+			for _, lit := range splitLiterals(m[1]) {
+				pattern, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want literal %s: %v", position, lit, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", position, pattern, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitLiterals splits `"a" "b"` or "`a` `b`" into raw literal tokens.
+func splitLiterals(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			out = append(out, s[:end+1])
+			s = strings.TrimSpace(s[min(end+1, len(s)):])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[:end+2])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+// Package barrierbalance flags team synchronization that only some
+// workers of a parallel region can reach.
+//
+// The team barrier is a counting barrier: every worker of the region
+// must arrive the same number of times, exactly like an OpenMP barrier.
+// The paper hit this the hard way in LU's pipelined sweep, where a
+// mis-scoped wait left part of the team parked forever (§5, the
+// pipeline stall the robustness work reproduces with fault injection).
+// Three shapes are diagnosed inside Run/RunCtx/For/ForBlock/ReduceSum
+// region bodies:
+//
+//  1. Team.Barrier reached under a conditional (if/switch/select) — a
+//     worker that takes the other arm never arrives, and the region
+//     deadlocks until the barrier is poisoned.
+//  2. Team.Barrier inside a loop whose bounds depend on the worker id —
+//     workers arrive different numbers of times, which desynchronizes
+//     every later barrier of the region.
+//  3. Any region-starting call (Run, RunCtx, For, ForBlock, ReduceSum,
+//     Warmup) inside a region body — the runtime rejects nested regions
+//     with a panic, so this is always a bug.
+package barrierbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"npbgo/internal/analysis"
+)
+
+const teamPath = "npbgo/internal/team"
+
+// regionStarters are the Team methods that fork a complete parallel
+// region; their final func-literal argument is a region body.
+var regionStarters = map[string]bool{
+	"Run":       true,
+	"RunCtx":    true,
+	"For":       true,
+	"ForBlock":  true,
+	"ReduceSum": true,
+}
+
+// nestable are Team methods that are also illegal anywhere inside a
+// region body, in addition to the region starters.
+var nestable = map[string]bool{"Warmup": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "barrierbalance",
+	Doc: "flag Team.Barrier calls not reached uniformly by all workers of a region, " +
+		"and parallel regions nested inside region bodies",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if body := regionBody(pass, call); body != nil {
+				checkRegion(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// regionBody returns the func-literal region body if call starts a
+// parallel region, else nil.
+func regionBody(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	recv, method, ok := analysis.Receiver(pass.TypesInfo, call)
+	if !ok || !analysis.IsNamed(recv, teamPath, "Team") || !regionStarters[method] {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	return lit
+}
+
+// checkRegion walks one region body, tracking the conditional and
+// id-dependent-loop nesting of every team call inside it.
+func checkRegion(pass *analysis.Pass, body *ast.FuncLit) {
+	id := workerIDParam(pass, body)
+	var walk func(n ast.Node, conditional bool, idLoop bool)
+	walk = func(n ast.Node, conditional, idLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			if n != body {
+				// A closure defined inside the region runs wherever it
+				// is called; calls inside it are analyzed when their
+				// own region is matched.
+				return
+			}
+		case *ast.IfStmt:
+			walk(n.Init, conditional, idLoop)
+			walk(n.Cond, conditional, idLoop)
+			walk(n.Body, true, idLoop)
+			walk(n.Else, true, idLoop)
+			return
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for _, c := range children(n) {
+				walk(c, true, idLoop)
+			}
+			return
+		case *ast.ForStmt:
+			dep := idLoop || dependsOn(pass, n.Cond, id) || dependsOn(pass, n.Init, id)
+			for _, c := range children(n) {
+				walk(c, conditional, dep)
+			}
+			return
+		case *ast.RangeStmt:
+			dep := idLoop || dependsOn(pass, n.X, id)
+			for _, c := range children(n) {
+				walk(c, conditional, dep)
+			}
+			return
+		case *ast.CallExpr:
+			checkTeamCall(pass, n, conditional, idLoop)
+		}
+		for _, c := range children(n) {
+			walk(c, conditional, idLoop)
+		}
+	}
+	for _, stmt := range body.Body.List {
+		walk(stmt, false, false)
+	}
+}
+
+// checkTeamCall reports a team synchronization call that is nested or
+// non-uniformly reached.
+func checkTeamCall(pass *analysis.Pass, call *ast.CallExpr, conditional, idLoop bool) {
+	recv, method, ok := analysis.Receiver(pass.TypesInfo, call)
+	if !ok || !analysis.IsNamed(recv, teamPath, "Team") {
+		return
+	}
+	switch {
+	case regionStarters[method] || nestable[method]:
+		pass.Reportf(call.Pos(),
+			"Team.%s starts a parallel region inside a region body; the team runtime panics on nested regions", method)
+	case method != "Barrier":
+		return
+	case conditional:
+		pass.Reportf(call.Pos(),
+			"Team.Barrier is conditionally reached inside a parallel region; workers that skip it leave the team deadlocked (the LU pipeline anomaly)")
+	case idLoop:
+		pass.Reportf(call.Pos(),
+			"Team.Barrier inside a loop whose bounds depend on the worker id; workers arrive unequal numbers of times")
+	}
+}
+
+// workerIDParam returns the object of the region body's worker-id
+// parameter for Run/RunCtx bodies (func(id int)), or nil for the
+// For/ForBlock/ReduceSum body shapes, which have no id parameter.
+func workerIDParam(pass *analysis.Pass, body *ast.FuncLit) types.Object {
+	params := body.Type.Params.List
+	if len(params) != 1 || len(params[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[params[0].Names[0]]
+}
+
+// dependsOn reports whether any identifier under n resolves to param.
+func dependsOn(pass *analysis.Pass, n ast.Node, param types.Object) bool {
+	if n == nil || param == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == param {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// children returns the direct child nodes of n.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

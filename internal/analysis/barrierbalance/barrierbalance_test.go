@@ -1,0 +1,12 @@
+package barrierbalance_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/barrierbalance"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, barrierbalance.Analyzer, "testdata")
+}

@@ -1,0 +1,51 @@
+// Golden fixtures for the barrierbalance analyzer: synchronization
+// calls that are nested or non-uniformly reached inside parallel
+// regions. Never built by the go tool; type-checked by analysistest.
+package fixture
+
+import "npbgo/internal/team"
+
+// conditionalBarrier is the LU pipeline anomaly in miniature: only the
+// master arrives at the barrier, every other worker runs past it and
+// the team deadlocks on the next region.
+func conditionalBarrier(tm *team.Team) {
+	tm.Run(func(id int) {
+		if id == 0 {
+			tm.Barrier() // want `conditionally reached`
+		}
+		tm.Barrier() // unconditional: every worker arrives
+	})
+}
+
+// idLoopBarrier arrives a different number of times per worker.
+func idLoopBarrier(tm *team.Team) {
+	tm.Run(func(id int) {
+		for i := 0; i < id; i++ {
+			tm.Barrier() // want `unequal numbers of times`
+		}
+	})
+}
+
+// nestedRegion starts a region inside a region body; the runtime
+// panics on this at execution time, the analyzer catches it earlier.
+func nestedRegion(tm *team.Team, n int) {
+	tm.Run(func(id int) {
+		tm.ForBlock(0, n, func(blo, bhi int) { // want `nested regions`
+			_ = blo + bhi
+		})
+	})
+}
+
+// nearMiss holds the accepted idioms: a barrier inside a loop whose
+// bounds are uniform across workers, and a master-only section that
+// contains no synchronization.
+func nearMiss(tm *team.Team, steps int) {
+	tm.Run(func(id int) {
+		for s := 0; s < steps; s++ {
+			tm.Barrier() // uniform trip count: fine
+		}
+		if id == 0 {
+			_ = id // master-only work without a barrier: fine
+		}
+	})
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "npbgo/internal/team"
+
+// suppressedBarrier shows the escape hatch: the conditional barrier is
+// matched by a worker-side barrier elsewhere, and the author says so.
+func suppressedBarrier(tm *team.Team) {
+	tm.Run(func(id int) {
+		if id == 0 {
+			//npblint:ignore barrierbalance matched by the worker-side barrier in the else branch pattern
+			tm.Barrier()
+		}
+	})
+}

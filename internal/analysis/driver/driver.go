@@ -1,0 +1,273 @@
+// Package driver loads type-checked packages and runs npblint analyzers
+// over them. It is the stdlib-only counterpart of the x/tools
+// go/packages + checker machinery: package metadata comes from
+// `go list -export -deps -json`, imports are resolved through the
+// compiler export data the go command already produced in its build
+// cache, and only the packages under analysis are parsed from source.
+//
+// The same loader backs three frontends: the standalone `npblint`
+// command, the `go vet -vettool` unit protocol (unit.go), and the
+// analysistest fixture harness used by the analyzer golden tests.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"npbgo/internal/analysis"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir for the given
+// patterns and decodes the JSON stream.
+func goList(dir string, patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths through compiler export data
+// files, as produced by `go list -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Load lists patterns in dir (a directory inside the module) and
+// returns the matched packages parsed from source and type-checked,
+// with their imports resolved from export data. Only non-test Go files
+// are analyzed in this mode; `go vet -vettool` covers test variants.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range targets {
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := typecheck(fset, imp, p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// moduleExports caches the export-data map for a module directory: one
+// `go list -export -deps ./...` per process, shared by every fixture
+// load the analyzer tests perform.
+var moduleExports = struct {
+	sync.Mutex
+	m map[string]map[string]string
+}{m: make(map[string]map[string]string)}
+
+// ModuleRoot locates the enclosing module root of dir (the directory
+// holding go.mod).
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadFiles parses and type-checks an explicit set of Go files as one
+// package named pkgPath, resolving imports against the module rooted at
+// (or above) dir. The analyzer golden tests use this to load testdata
+// fixtures, which may import real npbgo packages.
+func LoadFiles(dir, pkgPath string, filenames []string) (*Package, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	moduleExports.Lock()
+	exports, ok := moduleExports.m[root]
+	if !ok {
+		// `./...` with -deps covers every stdlib package the module
+		// itself uses, which is all the fixtures may import.
+		listed, err := goList(root, "./...")
+		if err != nil {
+			moduleExports.Unlock()
+			return nil, err
+		}
+		exports = make(map[string]string)
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		moduleExports.m[root] = exports
+	}
+	moduleExports.Unlock()
+	fset := token.NewFileSet()
+	return typecheck(fset, exportImporter(fset, exports), pkgPath, filenames)
+}
+
+// typecheck parses files and type-checks them as one package.
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string) (*Package, error) {
+	return typecheckVersioned(fset, imp, pkgPath, filenames, "")
+}
+
+// typecheckVersioned is typecheck with an explicit language version
+// ("go1.22"; empty means latest), as supplied by a vet config.
+func typecheckVersioned(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// A Finding is one diagnostic after suppression filtering, resolved to
+// a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, filters the diagnostics
+// through //npblint:ignore suppression comments, and returns the
+// surviving findings sorted by position. Analyzer runtime errors are
+// reported as errors, not findings.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := scanSuppressions(pkg)
+		findings = append(findings, sup.malformed...)
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

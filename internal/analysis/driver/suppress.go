@@ -1,0 +1,72 @@
+package driver
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//npblint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A suppression on line L (trailing the offending code or on the line
+// directly above it) silences the named analyzers' diagnostics on that
+// line. The reason is mandatory: a bare //npblint:ignore is itself
+// reported, so suppressions stay auditable.
+const ignorePrefix = "//npblint:ignore"
+
+// suppressions indexes the ignore comments of one package.
+type suppressions struct {
+	// byLine maps file:line to the analyzer names suppressed there.
+	byLine map[fileLine][]string
+	// malformed holds driver-level findings for ignore comments with
+	// no analyzer name or no reason.
+	malformed []Finding
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// scanSuppressions collects every //npblint:ignore comment in pkg.
+func scanSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{byLine: make(map[fileLine][]string)}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					sup.malformed = append(sup.malformed, Finding{
+						Analyzer: "npblint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //npblint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				k := fileLine{pos.Filename, pos.Line}
+				sup.byLine[k] = append(sup.byLine[k], strings.Split(names, ",")...)
+			}
+		}
+	}
+	return sup
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by an ignore comment on the same line or the line
+// directly above.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	for _, line := range [...]int{pos.Line, pos.Line - 1} {
+		for _, name := range s.byLine[fileLine{pos.Filename, line}] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

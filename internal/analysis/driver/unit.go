@@ -1,0 +1,95 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"npbgo/internal/analysis"
+)
+
+// vetConfig mirrors the JSON compilation-unit description `go vet`
+// hands a -vettool (the unitchecker protocol of x/tools, which this
+// file re-implements on the stdlib). Fields the npblint analyzers do
+// not need (facts, fact files, gccgo fallbacks) are accepted and
+// ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> package path
+	PackageFile               map[string]string // package path -> export data file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunUnit performs the `go vet -vettool` side of the protocol: read the
+// JSON config, analyze the single compilation unit it describes, print
+// findings to w, and return the number of findings. The VetxOutput file
+// is always written (empty — the suite exports no facts); go vet
+// requires it to exist for build caching.
+func RunUnit(w io.Writer, configFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %v", configFile, err)
+	}
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		// Facts-only run for a dependency: the suite has no facts.
+		return 0, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(pkgPath string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[pkgPath]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", pkgPath)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if pkgPath, ok := cfg.ImportMap[importPath]; ok {
+			importPath = pkgPath // resolve vendoring
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	pkg, err := typecheckVersioned(fset, imp, cfg.ImportPath, cfg.GoFiles, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the error; vet stays quiet.
+			return 0, writeVetx()
+		}
+		return 0, err
+	}
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	return len(findings), writeVetx()
+}

@@ -1,0 +1,118 @@
+// Package faultsite checks fault-injection site keys against the
+// registry exported by the fault package.
+//
+// Injection sites are addressed by string keys ("cg.iter",
+// "team.region", ...). Tests, documentation, and the npbsuite
+// -list-faults output all refer to those keys, so a typo in any of them
+// silently turns an injection plan into a no-op — the failure mode is a
+// robustness test that cannot fail. Two rules for every call to
+// fault.Maybe, fault.Corrupted, fault.CorruptFloat and fault.Hits, and
+// for every Site field of a fault.Rule literal, in non-test files:
+//
+//  1. the site key must be an in-place string literal (auditable,
+//     greppable, registrable);
+//  2. the literal must appear in fault.Sites(), the single source of
+//     truth in internal/fault/sites.go.
+//
+// Test files are exempt: tests may probe ad-hoc sites to exercise the
+// registry machinery itself.
+package faultsite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"npbgo/internal/analysis"
+	"npbgo/internal/fault"
+)
+
+const faultPath = "npbgo/internal/fault"
+
+// siteFuncs maps the fault package functions to the index of their
+// site-key argument.
+var siteFuncs = map[string]int{
+	"Maybe":        0,
+	"Corrupted":    0,
+	"CorruptFloat": 0,
+	"Hits":         0,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsite",
+	Doc: "check fault injection site keys against the fault.Sites() registry " +
+		"so injection sites, tests and docs cannot drift",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	known := make(map[string]bool)
+	for _, s := range fault.Sites() {
+		known[s] = true
+	}
+	if pass.Pkg.Path() == faultPath {
+		return nil // the registry's own package
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, known, n)
+			case *ast.CompositeLit:
+				checkRuleLit(pass, known, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, known map[string]bool, call *ast.CallExpr) {
+	pkg, fn, ok := analysis.PkgFunc(pass.TypesInfo, call)
+	if !ok || pkg != faultPath {
+		return
+	}
+	argIdx, tracked := siteFuncs[fn]
+	if !tracked || len(call.Args) <= argIdx {
+		return
+	}
+	checkSiteExpr(pass, known, call.Args[argIdx], "fault."+fn)
+}
+
+// checkRuleLit checks the Site field of fault.Rule composite literals.
+func checkRuleLit(pass *analysis.Pass, known map[string]bool, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || !analysis.IsNamed(named, faultPath, "Rule") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, isKV := elt.(*ast.KeyValueExpr)
+		if !isKV {
+			continue
+		}
+		if key, isIdent := kv.Key.(*ast.Ident); isIdent && key.Name == "Site" {
+			checkSiteExpr(pass, known, kv.Value, "fault.Rule.Site")
+		}
+	}
+}
+
+func checkSiteExpr(pass *analysis.Pass, known map[string]bool, e ast.Expr, context string) {
+	site, isLit := analysis.StringLit(e)
+	if !isLit {
+		pass.Reportf(e.Pos(),
+			"%s site key must be an in-place string literal so the registry check can see it", context)
+		return
+	}
+	if !known[site] {
+		pass.Reportf(e.Pos(),
+			"unknown fault site %q; register it in fault.Sites (internal/fault/sites.go) or fix the key", site)
+	}
+}

@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/faultsite"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, faultsite.Analyzer, "testdata")
+}

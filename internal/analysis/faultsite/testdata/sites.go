@@ -1,0 +1,39 @@
+// Golden fixtures for the faultsite analyzer: injection site keys that
+// are misspelled, unregistered, or not literal. Never built by the go
+// tool; type-checked by analysistest.
+package fixture
+
+import "npbgo/internal/fault"
+
+// registered uses keys present in fault.Sites().
+func registered() {
+	fault.Maybe("team.region")
+	if fault.Corrupted("cg.verify") {
+		return
+	}
+}
+
+// typo is a near-miss key one transposition away from "team.region".
+func typo() {
+	fault.Maybe("team.regoin") // want `unknown fault site`
+}
+
+// unregistered uses a key nobody added to the registry.
+func unregistered() float64 {
+	return fault.CorruptFloat("mg.norm", 1.0) // want `unknown fault site`
+}
+
+// dynamicKey hides the key from the registry check.
+func dynamicKey(site string) {
+	fault.Maybe(site) // want `must be an in-place string literal`
+}
+
+// ruleTypo misspells the key inside a plan rule.
+func ruleTypo() fault.Rule {
+	return fault.Rule{Site: "cg.itre", Kind: fault.KindPanic} // want `unknown fault site`
+}
+
+// ruleOK is the same rule with the registered key.
+func ruleOK() fault.Rule {
+	return fault.Rule{Site: "cg.iter", Kind: fault.KindPanic}
+}

@@ -1,0 +1,8 @@
+package fixture
+
+import "npbgo/internal/fault"
+
+// suppressedSite keeps a deliberately unregistered key.
+func suppressedSite() {
+	fault.Maybe("demo.site") //npblint:ignore faultsite fixture-only key, not wired into the suite
+}

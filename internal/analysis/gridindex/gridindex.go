@@ -1,0 +1,163 @@
+// Package gridindex flags hand-rolled linearized-array stride
+// arithmetic and suspicious grid.Dim At calls.
+//
+// The paper's winning translation strategy (§3) linearizes every
+// multi-dimensional array into a flat vector addressed as
+// i1 + n1*(i2 + n2*i3), first index fastest. The grid package owns that
+// formula (Dim3/Dim4/Dim5.At); when kernels re-derive it inline the
+// stride factors drift from the allocation extents the moment a loop
+// nest is rewritten, and the resulting corruption is silent because a
+// flat index only has one bounds check. Two checks:
+//
+//  1. Nested multiply-add chains of integer type shaped like
+//     a + b*(c + d*e) — the 3-D-or-deeper stride formula — are
+//     reported; use grid.Dim3/4/5.At (or a helper that delegates to
+//     it) instead. Single-level a + b*c terms are left alone: small
+//     fixed strides like 5*i+m are idiomatic for component access.
+//  2. Dim.At calls whose arguments are name-recognizable indices
+//     (i1/i2/i3 digit suffixes, or the i/j/k convention) passed in
+//     descending order — At(k, j, i) — are reported as transposed:
+//     the first index must be the fastest-varying one.
+//
+// The grid package itself (and its tests) is exempt: it is the one
+// place the formula is allowed to exist.
+package gridindex
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"npbgo/internal/analysis"
+)
+
+const gridPath = "npbgo/internal/grid"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gridindex",
+	Doc: "flag hand-rolled i + n1*(j + n2*k) stride arithmetic that should go through " +
+		"grid.Dim3/4/5.At, and At calls with transposed index arguments",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasPrefix(pass.Pkg.Path(), gridPath) {
+		return nil // the canonical implementation site
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if isStrideChain(pass, n) {
+					pass.Reportf(n.Pos(),
+						"hand-rolled stride arithmetic; use grid.Dim3/4/5.At so the strides cannot drift from the allocation extents")
+					return false // do not re-report the inner chain
+				}
+			case *ast.CallExpr:
+				checkAtCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStrideChain matches integer expressions of the form
+// a + b*(c + d*e [+ ...]) — a multiply-add chain at least two levels
+// deep, i.e. the linear-offset formula of a 3-D or deeper array.
+func isStrideChain(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	return strideDepth(pass, e) >= 2
+}
+
+// strideDepth returns the nesting depth of add-of-product terms under
+// e: i+n*(j+m*k) has depth 2, i+n*j depth 1, anything else 0. Only
+// integer-typed expressions count, so floating-point polynomial
+// evaluation (Horner forms in the kernels) is never matched.
+func strideDepth(pass *analysis.Pass, e ast.Expr) int {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD || !isInteger(pass, bin) {
+		return 0
+	}
+	depth := 0
+	for _, side := range [...]ast.Expr{bin.X, bin.Y} {
+		if mul, isMul := ast.Unparen(side).(*ast.BinaryExpr); isMul && mul.Op == token.MUL {
+			for _, factor := range [...]ast.Expr{mul.X, mul.Y} {
+				if d := strideDepth(pass, factor) + 1; d > depth {
+					depth = d
+				}
+			}
+		}
+	}
+	return depth
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// checkAtCall flags grid.DimN.At calls whose index arguments are
+// recognizably passed fastest-index-last.
+func checkAtCall(pass *analysis.Pass, call *ast.CallExpr) {
+	recv, method, ok := analysis.Receiver(pass.TypesInfo, call)
+	if !ok || method != "At" {
+		return
+	}
+	if !analysis.IsNamed(recv, gridPath, "Dim3") &&
+		!analysis.IsNamed(recv, gridPath, "Dim4") &&
+		!analysis.IsNamed(recv, gridPath, "Dim5") {
+		return
+	}
+	ranks := make([]int, 0, len(call.Args))
+	for _, arg := range call.Args {
+		id, isIdent := ast.Unparen(arg).(*ast.Ident)
+		if !isIdent {
+			return // expression arguments carry no ordering evidence
+		}
+		rank, known := indexRank(id.Name)
+		if !known {
+			return
+		}
+		ranks = append(ranks, rank)
+	}
+	if len(ranks) < 2 {
+		return
+	}
+	ascending := true
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] <= ranks[i-1] {
+			ascending = false
+		}
+	}
+	if !ascending {
+		pass.Reportf(call.Pos(),
+			"Dim.At arguments appear transposed; the first argument is the fastest-varying index (Fortran order, §3 of the paper)")
+	}
+}
+
+// indexRank assigns a conventional dimension rank to an index name:
+// trailing digits win (i1→1, i2→2), then the i/j/k convention.
+func indexRank(name string) (int, bool) {
+	trimmed := strings.TrimRight(name, "0123456789")
+	if digits := name[len(trimmed):]; digits != "" {
+		rank := 0
+		for _, c := range digits {
+			rank = rank*10 + int(c-'0')
+		}
+		return rank, true
+	}
+	switch name {
+	case "i":
+		return 1, true
+	case "j":
+		return 2, true
+	case "k":
+		return 3, true
+	}
+	return 0, false
+}

@@ -1,0 +1,12 @@
+package gridindex_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/gridindex"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, gridindex.Analyzer, "testdata")
+}

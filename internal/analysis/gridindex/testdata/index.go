@@ -1,0 +1,36 @@
+// Golden fixtures for the gridindex analyzer: hand-rolled linearized
+// index arithmetic and transposed Dim.At calls. Never built by the go
+// tool; type-checked by analysistest.
+package fixture
+
+import "npbgo/internal/grid"
+
+// manualStride re-derives the column-major formula inline instead of
+// delegating to the allocation's Dim3.
+func manualStride(buf []float64, n1, n2, i, j, k int) float64 {
+	return buf[i+n1*(j+n2*k)] // want `hand-rolled stride arithmetic`
+}
+
+// dimAt is the accepted form of the same access.
+func dimAt(d grid.Dim3, buf []float64, i, j, k int) float64 {
+	return buf[d.At(i, j, k)]
+}
+
+// transposed passes the indices slowest-first, the C-order habit that
+// silently scrambles a Fortran-order array.
+func transposed(d grid.Dim3, buf []float64, i, j, k int) float64 {
+	return buf[d.At(k, j, i)] // want `transposed`
+}
+
+// component is a near miss: one multiply-add level is idiomatic
+// component access (5 solution components per cell), not a stride
+// chain.
+func component(u []float64, i, m int) float64 {
+	return u[5*i+m]
+}
+
+// horner is a near miss: the same shape over floats is polynomial
+// evaluation, not indexing.
+func horner(x, a, b, c, d float64) float64 {
+	return a + x*(b+x*(c+x*d))
+}

@@ -1,0 +1,7 @@
+package fixture
+
+// suppressedStride keeps the explicit formula for exposition.
+func suppressedStride(buf []float64, n1, n2, i, j, k int) float64 {
+	//npblint:ignore gridindex mirrors the paper's written-out index formula
+	return buf[i+n1*(j+n2*k)]
+}

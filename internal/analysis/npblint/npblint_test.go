@@ -1,0 +1,32 @@
+package npblint_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/driver"
+	"npbgo/internal/analysis/npblint"
+)
+
+// TestRepoClean runs the whole suite over the whole module: the repo
+// must stay lint-clean. This covers the non-test sources; `make lint`
+// additionally covers _test.go files by routing through go vet.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := driver.Run(pkgs, npblint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,12 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/sharedwrite"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, sharedwrite.Analyzer, "testdata")
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "npbgo/internal/team"
+
+// suppressedWrite documents a benign last-writer-wins flag.
+func suppressedWrite(tm *team.Team, n int) bool {
+	touched := false
+	tm.For(0, n, func(i int) {
+		touched = true //npblint:ignore sharedwrite every worker writes the same value
+	})
+	return touched
+}

@@ -1,0 +1,8 @@
+package fixture
+
+import "npbgo/internal/timer"
+
+// suppressedStart hands the running timer to its caller to stop.
+func suppressedStart(s *timer.Set) {
+	s.Start("sweep") //npblint:ignore timerpair the caller stops it after the pipelined sweep drains
+}

@@ -1,0 +1,12 @@
+package timerpair_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/timerpair"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, timerpair.Analyzer, "testdata")
+}

@@ -208,13 +208,14 @@ func TestSolveLineAgainstDenseSolve(t *testing.T) {
 		dense := make([]float64, dim*dim)
 		for l := 0; l < cells; l++ {
 			for m := 0; m < 5; m++ {
+				row := (5*l + m) * dim // dense is row-major, unlike the grid arrays
 				for n := 0; n < 5; n++ {
 					if l > 0 {
-						dense[(5*l+m)*dim+5*(l-1)+n] = blk(ls.aa, l)[m+5*n]
+						dense[row+5*(l-1)+n] = blk(ls.aa, l)[m+5*n]
 					}
-					dense[(5*l+m)*dim+5*l+n] = blk(ls.bb, l)[m+5*n]
+					dense[row+5*l+n] = blk(ls.bb, l)[m+5*n]
 					if l < cells-1 {
-						dense[(5*l+m)*dim+5*(l+1)+n] = blk(ls.cc, l)[m+5*n]
+						dense[row+5*(l+1)+n] = blk(ls.cc, l)[m+5*n]
 					}
 				}
 			}

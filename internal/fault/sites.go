@@ -1,0 +1,25 @@
+package fault
+
+// knownSites is the registry of every injection site compiled into the
+// suite, in sorted order. It is the single source of truth shared by
+// the npblint faultsite analyzer (which rejects site-key literals not
+// listed here), `npbsuite -list-faults`, and the robustness docs.
+//
+// Adding a hook: call fault.Maybe/Corrupted/CorruptFloat with a new
+// "<package>.<event>" literal AND list it here — `make lint` fails
+// until both sides agree.
+var knownSites = [...]string{
+	"cg.iter",      // cg: top of each timed outer iteration
+	"cg.verify",    // cg: zeta verification value
+	"ep.batch",     // ep: per-worker batch loop
+	"ep.verify",    // ep: sum verification values
+	"harness.cell", // harness: each (benchmark, threads) cell run
+	"team.region",  // team: entry of every parallel region body
+}
+
+// Sites returns the sorted list of known injection site keys.
+func Sites() []string {
+	out := make([]string, len(knownSites))
+	copy(out, knownSites[:])
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"npbgo/internal/grid"
 	"npbgo/internal/team"
 )
 
@@ -118,8 +119,10 @@ func cfftz(is, n, ny int, r *roots, ws *workspace) {
 // cube is the 3-D complex field layout, first index fastest.
 type cube struct{ d1, d2, d3 int }
 
-func (c cube) len() int           { return c.d1 * c.d2 * c.d3 }
-func (c cube) at(i, j, k int) int { return i + c.d1*(j+c.d2*k) }
+func (c cube) len() int { return c.d1 * c.d2 * c.d3 }
+func (c cube) at(i, j, k int) int {
+	return grid.Dim3{N1: c.d1, N2: c.d2, N3: c.d3}.At(i, j, k)
+}
 
 // cffts1 transforms along the first (contiguous) dimension: for every
 // (j,k) pencil batch, gather into the block scratch, transform, scatter

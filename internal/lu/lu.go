@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"npbgo/internal/grid"
 	"npbgo/internal/nscore"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
@@ -103,7 +104,9 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 
 // at returns the flat offset of component 0 at (i,j,k) for the 5-vector
 // fields.
-func (b *Benchmark) at(i, j, k int) int { return 5 * (i + b.n*(j+b.n*k)) }
+func (b *Benchmark) at(i, j, k int) int {
+	return grid.Dim4{N1: 5, N2: b.n, N3: b.n, N4: b.n}.At(0, i, j, k)
+}
 
 // exactAt evaluates the exact solution at grid point (i,j,k).
 func (b *Benchmark) exactAt(i, j, k int, out *[5]float64) {

@@ -3,6 +3,7 @@ package mg
 import (
 	"math"
 
+	"npbgo/internal/grid"
 	"npbgo/internal/team"
 )
 
@@ -12,8 +13,10 @@ type level struct {
 	n1, n2, n3 int // box extents including ghosts
 }
 
-func (l level) len() int              { return l.n1 * l.n2 * l.n3 }
-func (l level) at(i1, i2, i3 int) int { return i1 + l.n1*(i2+l.n2*i3) }
+func (l level) len() int { return l.n1 * l.n2 * l.n3 }
+func (l level) at(i1, i2, i3 int) int {
+	return grid.Dim3{N1: l.n1, N2: l.n2, N3: l.n3}.At(i1, i2, i3)
+}
 
 // comm3 applies the periodic boundary condition to u by copying the
 // opposite interior faces into the ghost shells (the serial analogue of

@@ -9,6 +9,7 @@ package nscore
 import (
 	"math"
 
+	"npbgo/internal/grid"
 	"npbgo/internal/team"
 )
 
@@ -51,14 +52,16 @@ func NewField(n int, withSpeed bool) *Field {
 
 // UAt returns the flat offset of U(m,i,j,k) (m fastest).
 func (f *Field) UAt(m, i, j, k int) int {
-	return m + 5*(i+f.N*(j+f.N*k))
+	return grid.Dim4{N1: 5, N2: f.N, N3: f.N, N4: f.N}.At(m, i, j, k)
 }
 
 // FAt is UAt for the Rhs/Forcing fields (identical layout).
 func (f *Field) FAt(m, i, j, k int) int { return f.UAt(m, i, j, k) }
 
 // SAt returns the flat offset of a scalar field element (i,j,k).
-func (f *Field) SAt(i, j, k int) int { return i + f.N*(j+f.N*k) }
+func (f *Field) SAt(i, j, k int) int {
+	return grid.Dim3{N1: f.N, N2: f.N, N3: f.N}.At(i, j, k)
+}
 
 // Add applies the update u += rhs on the interior (the last step of
 // each ADI iteration).
