@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint bench suite tables clean
+.PHONY: build test test-race race vet lint bench suite suite-obs tables clean
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ FORCE:
 # a dedicated -race pass even under -short.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/team ./internal/harness ./internal/fault
+	$(GO) test -race ./internal/team ./internal/harness ./internal/fault ./internal/timer ./internal/obs
 
 test-race: race
 
@@ -44,6 +44,11 @@ CLASS ?= W
 THREADS ?= 1,2,4
 suite:
 	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS)
+
+# Suite sweep with the observability layer on: metrics summary table,
+# per-cell JSONL, and a live expvar/pprof endpoint during the run.
+suite-obs:
+	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS) -obs
 
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)

@@ -13,6 +13,14 @@
 //
 // -list-faults prints the registered fault injection site keys (the
 // same registry the npblint faultsite analyzer checks) and exits.
+//
+// -obs turns on the observability layer: every cell collects per-worker
+// runtime metrics (busy/barrier-wait time, imbalance ratio) and a phase
+// profile, a metrics summary table is printed after the sweeps, one
+// JSON line per cell is appended to -obs-jsonl, and -obs-listen serves
+// live /debug/vars (expvar, including the per-run recorders under
+// npb.obs) and /debug/pprof on a local port for the duration of the
+// sweep.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"npbgo"
 	"npbgo/internal/fault"
 	"npbgo/internal/harness"
+	"npbgo/internal/obs"
 )
 
 func main() {
@@ -37,6 +46,9 @@ func main() {
 	warmup := flag.Bool("warmup", false, "apply the CG warmup fix of §5.2")
 	timeout := flag.Duration("timeout", 0, "per-run deadline, e.g. 5m (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retries per failed run, with exponential backoff")
+	obsFlag := flag.Bool("obs", false, "collect runtime metrics per cell and print the metrics summary")
+	obsListen := flag.String("obs-listen", "127.0.0.1:6060", "with -obs: address for the expvar/pprof endpoint (empty = no endpoint)")
+	obsJSONL := flag.String("obs-jsonl", "npb-metrics.jsonl", "with -obs: per-cell metrics JSONL file, appended (empty = no file)")
 	listFaults := flag.Bool("list-faults", false, "print the registered fault injection site keys and exit")
 	flag.Parse()
 
@@ -74,6 +86,29 @@ func main() {
 		Timeout: *timeout,
 		Retries: *retries,
 		Backoff: 500 * time.Millisecond,
+		Obs:     *obsFlag,
+	}
+	if *obsFlag {
+		if *obsListen != "" {
+			bound, shutdown, err := obs.Serve(*obsListen)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npbsuite: obs endpoint: %v\n", err)
+				os.Exit(2)
+			}
+			defer shutdown()
+			fmt.Printf("obs: live metrics at http://%s/debug/vars, profiles at http://%s/debug/pprof/\n", bound, bound)
+		}
+		if *obsJSONL != "" {
+			f, err := os.OpenFile(*obsJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npbsuite: obs jsonl: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			opt.Metrics = f
+			fmt.Printf("obs: per-cell metrics appended to %s\n", *obsJSONL)
+		}
+		fmt.Println()
 	}
 	var sweeps []harness.Sweep
 	failed := false
@@ -96,6 +131,10 @@ func main() {
 		sweeps, threads))
 	fmt.Println()
 	fmt.Print(harness.SpeedupTable("Speedup S(n) and efficiency E(n) over serial", sweeps, threads))
+	if *obsFlag {
+		fmt.Println()
+		fmt.Print(harness.ObsTable("Runtime metrics (imbalance = max busy / mean busy; cf. §5.2)", sweeps))
+	}
 	if failed {
 		os.Exit(1)
 	}

@@ -75,6 +75,70 @@ func TestBucketsConfig(t *testing.T) {
 	}
 }
 
+// TestObsRequested checks the runtime-metrics plumbing: Config.Obs
+// populates Result.Obs for every benchmark and implies a phase profile
+// where the benchmark supports one.
+func TestObsRequested(t *testing.T) {
+	for _, b := range npbgo.Benchmarks() {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			res, err := npbgo.Run(npbgo.Config{Benchmark: b, Class: 'S', Threads: 2, Obs: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Obs
+			if s == nil {
+				t.Fatal("Config.Obs set but Result.Obs is nil")
+			}
+			if s.Workers != 2 {
+				t.Fatalf("recorder sized for %d workers, want 2", s.Workers)
+			}
+			if s.Regions == 0 {
+				t.Fatal("no regions recorded")
+			}
+			for i, busy := range s.Busy {
+				if busy <= 0 {
+					t.Fatalf("worker %d recorded no busy time: %v", i, s.Busy)
+				}
+			}
+			if im := s.Imbalance(); im < 1 {
+				t.Fatalf("imbalance %v < 1", im)
+			}
+		})
+	}
+
+	// Obs off: no snapshot, no phases.
+	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.EP, Class: 'S', Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs != nil || res.Phases != nil {
+		t.Fatal("obs data present without Config.Obs")
+	}
+}
+
+// TestObsImpliesPhases checks that Obs turns on the phase profile for
+// benchmarks that own a timer set.
+func TestObsImpliesPhases(t *testing.T) {
+	res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 2, Obs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("Obs should imply phase timers for CG")
+	}
+	names := map[string]bool{}
+	for _, p := range res.Phases {
+		names[p.Name] = true
+		if p.Seconds < 0 || p.Laps < 1 {
+			t.Fatalf("degenerate phase %+v", p)
+		}
+	}
+	if !names["t_conj_grad"] {
+		t.Fatalf("missing t_conj_grad phase: %+v", res.Phases)
+	}
+}
+
 // TestProfileSPLU checks the per-phase plumbing for the other two
 // pseudo-applications.
 func TestProfileSPLU(t *testing.T) {

@@ -145,14 +145,14 @@ func checkTeamCall(pass *analysis.Pass, call *ast.CallExpr, conditional, idLoop 
 	case regionStarters[method] || nestable[method]:
 		pass.Reportf(call.Pos(),
 			"Team.%s starts a parallel region inside a region body; the team runtime panics on nested regions", method)
-	case method != "Barrier":
+	case method != "Barrier" && method != "BarrierID":
 		return
 	case conditional:
 		pass.Reportf(call.Pos(),
-			"Team.Barrier is conditionally reached inside a parallel region; workers that skip it leave the team deadlocked (the LU pipeline anomaly)")
+			"Team.%s is conditionally reached inside a parallel region; workers that skip it leave the team deadlocked (the LU pipeline anomaly)", method)
 	case idLoop:
 		pass.Reportf(call.Pos(),
-			"Team.Barrier inside a loop whose bounds depend on the worker id; workers arrive unequal numbers of times")
+			"Team.%s inside a loop whose bounds depend on the worker id; workers arrive unequal numbers of times", method)
 	}
 }
 

@@ -36,6 +36,18 @@ func nestedRegion(tm *team.Team, n int) {
 	})
 }
 
+// conditionalBarrierID: the id-attributed barrier variant (used for
+// per-worker wait accounting in the obs layer) has the same arrival
+// contract as Barrier and gets the same diagnostics.
+func conditionalBarrierID(tm *team.Team) {
+	tm.Run(func(id int) {
+		if id == 0 {
+			tm.BarrierID(id) // want `conditionally reached`
+		}
+		tm.BarrierID(id) // unconditional: every worker arrives
+	})
+}
+
 // nearMiss holds the accepted idioms: a barrier inside a loop whose
 // bounds are uniform across workers, and a master-only section that
 // contains no synchronization.

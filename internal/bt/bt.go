@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"npbgo/internal/nscore"
+	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/verify"
@@ -41,13 +42,19 @@ type Benchmark struct {
 	c       nscore.Consts
 	f       *nscore.Field
 
-	timers *timer.Set // nil unless WithTimers
+	timers *timer.Set    // nil unless WithTimers
+	rec    *obs.Recorder // nil without WithObs
 
 	scratch []*lineScratch // per-worker line solve storage
 }
 
 // Option configures optional benchmark behaviour.
 type Option func(*Benchmark)
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// worker-imbalance ratio of the obs layer.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
 
 // WithTimers enables per-phase profiling of the ADI steps (rhs and the
 // three solves), as the paper does when analyzing where the translated
@@ -91,7 +98,7 @@ type Result struct {
 // with re-initialization (as bt.f), then niter timed ADI steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

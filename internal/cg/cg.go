@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"npbgo/internal/fault"
+	"npbgo/internal/obs"
 	"npbgo/internal/team"
+	"npbgo/internal/timer"
 	"npbgo/internal/verify"
 )
 
@@ -51,6 +53,8 @@ type Benchmark struct {
 	threads int
 	warmup  bool
 	ctx     context.Context // nil means not cancellable
+	rec     *obs.Recorder   // nil without WithObs
+	timers  *timer.Set      // nil without WithTimers
 
 	ballastBytes int
 	ballast      [][]float64 // per-worker ballast, nil without WithBallast
@@ -67,6 +71,16 @@ type Option func(*Benchmark)
 
 // WithWarmup enables the per-thread initialization load of §5.2.
 func WithWarmup() Option { return func(b *Benchmark) { b.warmup = true } }
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// imbalance ratio — the instrumentation the paper's §5.2 CG diagnosis
+// was made with.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTimers enables the per-phase profile (t_conj_grad, t_norm), the
+// cg.f timer slots the paper's profiling discussion uses.
+func WithTimers() Option { return func(b *Benchmark) { b.timers = timer.NewSet() } }
 
 // WithContext makes Run cancellable: when ctx expires the team is
 // cancelled (unblocking any parked workers) and the timed outer loop
@@ -128,12 +142,13 @@ type Result struct {
 	Elapsed time.Duration
 	Mops    float64
 	Verify  *verify.Report
+	Timers  *timer.Set // per-phase profile when WithTimers was given
 }
 
 // Run executes the benchmark: one untimed feed-through iteration, then
 // niter timed outer iterations, then verification, following cg.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)
@@ -165,16 +180,23 @@ func (b *Benchmark) Run() Result {
 		}
 		fault.Maybe("cg.iter")
 		b.touchBallast(tm)
-		rnorm = b.conjGrad(tm)
+		rnorm = b.timed("t_conj_grad", func() float64 { return b.conjGrad(tm) })
+		if tm.Cancelled() {
+			// The reductions of a cancelled team return 0, so rnorm and
+			// any zeta derived from it would be garbage; keep the last
+			// complete iteration's values instead.
+			break
+		}
 		norm1 := dotBlocked(tm, b.x, b.z)
 		zeta = b.p.shift + 1.0/norm1
-		b.normalize(tm)
+		b.timed("t_norm", func() float64 { b.normalize(tm); return 0 })
 	}
 	elapsed := time.Since(start)
 
 	var res Result
 	res.Zeta = zeta
 	res.RNorm = rnorm
+	res.Timers = b.timers
 	res.Elapsed = elapsed
 	// Standard NPB CG flop estimate per outer iteration.
 	nzf := float64(b.NNZ())
@@ -188,6 +210,18 @@ func (b *Benchmark) Run() Result {
 	rep.AddTol("zeta", fault.CorruptFloat("cg.verify", zeta), b.p.zeta, 1e-10)
 	res.Verify = rep
 	return res
+}
+
+// timed charges fn's wall time to the named master-side phase timer (a
+// direct call when profiling is off).
+func (b *Benchmark) timed(name string, fn func() float64) float64 {
+	if b.timers == nil {
+		return fn()
+	}
+	b.timers.Start(name)
+	v := fn()
+	b.timers.Stop(name)
+	return v
 }
 
 // touchBallast streams every worker through its ballast once, evicting

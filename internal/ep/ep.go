@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"npbgo/internal/fault"
+	"npbgo/internal/obs"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
+	"npbgo/internal/timer"
 	"npbgo/internal/verify"
 )
 
@@ -49,6 +51,8 @@ type Benchmark struct {
 	m       int
 	threads int
 	ctx     context.Context // nil means not cancellable
+	rec     *obs.Recorder   // nil without WithObs
+	timers  *timer.Set      // nil without WithTimers
 }
 
 // Option configures optional benchmark behaviour.
@@ -61,6 +65,16 @@ func WithContext(ctx context.Context) Option {
 	return func(b *Benchmark) { b.ctx = ctx }
 }
 
+// WithObs attaches a runtime-metrics recorder to the run's team.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTimers enables the per-worker phase profile: each worker charges
+// its batch loop to its own timer (t_batch/w<id>) on a concurrent set,
+// so the profile shows both the per-thread time split and, via lap
+// counts, how many batches each worker processed — the per-thread view
+// the paper's load-balance analysis is built on.
+func WithTimers() Option { return func(b *Benchmark) { b.timers = timer.NewConcurrentSet() } }
+
 // Result reports one EP run.
 type Result struct {
 	Sx, Sy  float64        // Gaussian deviate sums
@@ -69,6 +83,7 @@ type Result struct {
 	Elapsed time.Duration  // wall time of the timed section
 	Mops    float64        // millions of Gaussian pairs per second scale
 	Verify  *verify.Report // verification outcome
+	Timers  *timer.Set     // per-worker batch profile when WithTimers was given
 }
 
 // New configures EP for the given class ('S','W','A','B','C') and thread
@@ -148,7 +163,7 @@ func (b *Benchmark) Run() Result {
 	}
 
 	states := make([]batchState, b.threads)
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)
@@ -159,18 +174,29 @@ func (b *Benchmark) Run() Result {
 	tm.Run(func(id int) {
 		lo, hi := team.Block(0, nn, b.threads, id)
 		x := make([]float64, 2*nk)
+		phase := ""
+		if b.timers != nil {
+			phase = timer.Worker("t_batch", id)
+		}
 		for kk := lo; kk < hi; kk++ {
 			if tm.Cancelled() {
 				return
 			}
 			fault.Maybe("ep.batch")
+			if phase != "" {
+				b.timers.Start(phase)
+			}
 			runBatch(kk, an, &states[id], x)
+			if phase != "" {
+				b.timers.Stop(phase)
+			}
 		}
 	})
 	elapsed := time.Since(start)
 
 	var res Result
 	res.Elapsed = elapsed
+	res.Timers = b.timers
 	for id := 0; id < b.threads; id++ {
 		res.Sx += states[id].sx
 		res.Sy += states[id].sy

@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"npbgo/internal/obs"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/verify"
@@ -67,6 +68,7 @@ type Benchmark struct {
 	p       params
 	threads int
 	ctx     context.Context // nil means not cancellable
+	rec     *obs.Recorder   // nil without WithObs
 
 	c          cube
 	u0, u1, u2 []complex128
@@ -76,6 +78,11 @@ type Benchmark struct {
 
 // Option configures optional benchmark behaviour.
 type Option func(*Benchmark)
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// worker-imbalance ratio of the obs layer.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
 
 // WithContext makes Run cancellable: when ctx expires the team is
 // cancelled and the timed iteration loop stops within about one
@@ -210,7 +217,7 @@ type Result struct {
 // section (initialization, forward FFT, niter evolve/inverse-FFT/
 // checksum steps), then verification, following ft.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -17,11 +17,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"time"
 
 	"npbgo"
 	"npbgo/internal/fault"
+	"npbgo/internal/obs"
 	"npbgo/internal/report"
+	"npbgo/internal/timer"
 )
 
 // Run is one measured cell of a sweep.
@@ -31,8 +35,10 @@ type Run struct {
 	Mops     float64
 	Verified bool
 	Tier     string
-	Attempts int   // benchmark executions this cell consumed (retries and repeats included)
-	Err      error // non-nil marks a failed cell (after all retries)
+	Attempts int           // benchmark executions this cell consumed (retries and repeats included)
+	Err      error         // non-nil marks a failed cell (after all retries)
+	Obs      *obs.Stats    // runtime metrics of the kept repeat, nil unless Options.Obs
+	Phases   []timer.Phase // phase profile of the kept repeat, nil unless the benchmark exposes timers
 }
 
 // Sweep is the measured row set of one benchmark/class.
@@ -49,6 +55,13 @@ type Options struct {
 	Timeout time.Duration // per-attempt deadline; 0 means unbounded
 	Retries int           // extra attempts after a failed one, per repeat
 	Backoff time.Duration // first retry delay, doubling each retry; 0 means 100ms
+
+	// Obs enables runtime-metrics collection (npbgo.Config.Obs) for
+	// every cell; each cell's snapshot lands in Run.Obs.
+	Obs bool
+	// Metrics, when non-nil, receives one report.CellMetrics JSON line
+	// per cell as the sweep progresses.
+	Metrics io.Writer
 
 	// sleep replaces time.Sleep between retries; tests inject it to
 	// verify backoff without waiting.
@@ -83,6 +96,11 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 			errs = append(errs, fmt.Errorf("%s.%c %s: %w", bench, class, cell, r.Err))
 		}
 		sw.Runs = append(sw.Runs, r)
+		if opt.Metrics != nil {
+			if err := report.WriteJSONL(opt.Metrics, cellMetrics(bench, class, r)); err != nil {
+				errs = append(errs, fmt.Errorf("%s.%c metrics: %w", bench, class, err))
+			}
+		}
 	}
 	return sw, errors.Join(errs...)
 }
@@ -98,17 +116,22 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 	if repeats < 1 {
 		repeats = 1
 	}
-	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n, Warmup: opt.Warmup}
+	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n,
+		Warmup: opt.Warmup, Obs: opt.Obs}
 	var best *Run
 	attempts := 0
 	for rep := 0; rep < repeats; rep++ {
 		res, used, err := runAttempts(cfg, opt)
 		attempts += used
 		if err != nil {
-			return Run{Threads: threads, Attempts: attempts, Err: err}
+			// A cancelled/failed run still carries its partial obs
+			// snapshot (cancellation counts, busy time up to the stop),
+			// which is exactly what a post-mortem wants to see.
+			return Run{Threads: threads, Attempts: attempts, Err: err,
+				Obs: res.Obs, Phases: res.Phases}
 		}
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
-			Verified: res.Verified, Tier: res.Tier}
+			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases}
 		if best == nil || r.Elapsed < best.Elapsed {
 			cp := r
 			best = &cp
@@ -264,6 +287,98 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 		}
 		row = append(row, ver)
 		tb.AddRow(row...)
+	}
+	return tb.String()
+}
+
+// cellMetrics flattens one measured cell into its structured JSONL
+// record.
+func cellMetrics(bench npbgo.Benchmark, class byte, r Run) report.CellMetrics {
+	m := report.CellMetrics{
+		Benchmark: string(bench),
+		Class:     string(class),
+		Threads:   r.Threads,
+		Elapsed:   r.Elapsed.Seconds(),
+		Mops:      r.Mops,
+		Verified:  r.Verified,
+		Attempts:  r.Attempts,
+		TopPhases: topPhases(r.Phases, 5),
+	}
+	if r.Err != nil {
+		m.Error = r.Err.Error()
+	}
+	if s := r.Obs; s != nil {
+		m.Regions = s.Regions
+		m.Cancellations = s.Cancellations
+		m.Panics = s.Panics
+		m.BarrierWait = s.BarrierWait.Seconds()
+		m.JoinWait = s.JoinWait.Seconds()
+		m.Imbalance = s.Imbalance()
+		m.WorkerBusy = make([]float64, len(s.Busy))
+		m.WorkerWait = make([]float64, len(s.Wait))
+		for i := range s.Busy {
+			m.WorkerBusy[i] = s.Busy[i].Seconds()
+			m.WorkerWait[i] = s.Wait[i].Seconds()
+		}
+	}
+	return m
+}
+
+// topPhases returns up to n phases ordered by descending time.
+func topPhases(phases []timer.Phase, n int) []report.PhaseMetric {
+	if len(phases) == 0 {
+		return nil
+	}
+	sorted := append([]timer.Phase(nil), phases...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seconds > sorted[j].Seconds })
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	out := make([]report.PhaseMetric, len(sorted))
+	for i, p := range sorted {
+		out[i] = report.PhaseMetric{Name: p.Name, Seconds: p.Seconds, Laps: p.Laps}
+	}
+	return out
+}
+
+// ObsTable renders the runtime-metrics summary of a sweep set: one row
+// per measured cell with the worker-imbalance ratio, the busy-time
+// spread, aggregate barrier and join waits, and the heaviest phases —
+// the table the paper's §5.2 CG diagnosis reads off (a healthy cell
+// shows imbalance near 1.00; the scheduling anomaly shows a ratio near
+// the thread count). Cells without obs data are skipped.
+func ObsTable(title string, sweeps []Sweep) string {
+	tb := report.New(title, "Cell", "Imbal", "BusyMin", "BusyMax", "Barrier", "Join", "Top phases")
+	for _, sw := range sweeps {
+		for _, r := range sw.Runs {
+			if r.Obs == nil || r.Err != nil {
+				continue
+			}
+			cell := fmt.Sprintf("%s.%c t%d", sw.Benchmark, sw.Class, r.Threads)
+			if r.Threads == 0 {
+				cell = fmt.Sprintf("%s.%c serial", sw.Benchmark, sw.Class)
+			}
+			phases := ""
+			for i, p := range topPhases(r.Phases, 2) {
+				if i > 0 {
+					phases += " "
+				}
+				phases += fmt.Sprintf("%s=%ss", p.Name, report.Seconds(p.Seconds))
+			}
+			if phases == "" {
+				phases = "-"
+			}
+			tb.AddRow(cell,
+				fmt.Sprintf("%.2f", r.Obs.Imbalance()),
+				report.Seconds(r.Obs.MinBusy().Seconds()),
+				report.Seconds(r.Obs.MaxBusy().Seconds()),
+				report.Seconds(r.Obs.BarrierWait.Seconds()),
+				report.Seconds(r.Obs.JoinWait.Seconds()),
+				phases)
+		}
+	}
+	if tb.NumRows() == 0 {
+		tb.AddRow("(no obs data)")
 	}
 	return tb.String()
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"npbgo/internal/obs"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/verify"
@@ -45,7 +46,8 @@ type Benchmark struct {
 	numKeys int
 	maxKey  int
 	threads int
-	buckets bool // bucketed ranking (the C original's USE_BUCKETS path)
+	buckets bool          // bucketed ranking (the C original's USE_BUCKETS path)
+	rec     *obs.Recorder // nil without WithObs
 
 	keys  []int32 // the key array (regenerated at the start of Run)
 	buff2 []int32 // key copy used during ranking
@@ -63,6 +65,11 @@ const nbuckets = 1 << 10
 
 // Option configures optional benchmark behaviour.
 type Option func(*Benchmark)
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// worker-imbalance ratio of the obs layer.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
 
 // WithBuckets selects the bucketed ranking algorithm: keys are first
 // scattered into 2^10 coarse buckets, then counted bucket-by-bucket,
@@ -156,7 +163,7 @@ func (b *Benchmark) rankBuckets(tm *team.Team, iteration int) {
 		for i := lo; i < hi; i++ {
 			cnt[b.keys[i]>>shift]++
 		}
-		tm.Barrier()
+		tm.BarrierID(id)
 		// Worker 0 computes global bucket boundaries and per-worker
 		// write cursors (serial; nbuckets is tiny).
 		if id == 0 {
@@ -170,7 +177,7 @@ func (b *Benchmark) rankBuckets(tm *team.Team, iteration int) {
 			}
 			b.bucketStart[nbuckets] = pos
 		}
-		tm.Barrier()
+		tm.BarrierID(id)
 		// Scatter this worker's keys into buff2, bucket-ordered.
 		ptr := b.bucketPtrs[id*nbuckets : (id+1)*nbuckets]
 		for i := lo; i < hi; i++ {
@@ -179,7 +186,7 @@ func (b *Benchmark) rankBuckets(tm *team.Team, iteration int) {
 			b.buff2[ptr[bk]] = k
 			ptr[bk]++
 		}
-		tm.Barrier()
+		tm.BarrierID(id)
 		// Count keys bucket-by-bucket: each worker owns a contiguous
 		// range of buckets, hence a contiguous, disjoint slice of the
 		// density array — no combining needed.
@@ -223,7 +230,7 @@ func (b *Benchmark) rankStraight(tm *team.Team, iteration int) {
 			b.buff2[i] = b.keys[i]
 			loc[b.buff2[i]]++
 		}
-		tm.Barrier()
+		tm.BarrierID(id)
 		// Combine local histograms into the global density, each
 		// worker owning a contiguous key sub-range.
 		klo, khi := team.Block(0, b.maxKey, tm.Size(), id)
@@ -276,7 +283,7 @@ type Result struct {
 // Run executes the benchmark: key generation (untimed), one untimed
 // ranking pass, maxIterations timed passes, then full verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 
 	b.createSeq()

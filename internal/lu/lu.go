@@ -14,6 +14,7 @@ import (
 
 	"npbgo/internal/grid"
 	"npbgo/internal/nscore"
+	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/verify"
@@ -44,6 +45,7 @@ type Benchmark struct {
 	threads int
 	hyper   bool // hyperplane-scheduled sweeps instead of pipelined
 	timers  *timer.Set
+	rec     *obs.Recorder // nil without WithObs
 	c       nscore.Consts
 
 	u, rsd, frct []float64 // 5-vector fields, m fastest
@@ -68,6 +70,11 @@ func newSweepScratch() *sweepScratch {
 
 // Option configures optional benchmark behaviour.
 type Option func(*Benchmark)
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// worker-imbalance ratio of the obs layer.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
 
 // WithHyperplane selects hyperplane (wavefront) scheduling for the
 // triangular sweeps instead of the default j-pipelined scheduling — the
@@ -295,7 +302,7 @@ type Result struct {
 // initialization, forcing computation, then itmax timed SSOR iterations
 // and verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 
 	b.setbv()

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndImbalance(t *testing.T) {
+	r := New(4)
+	r.IncRegion()
+	r.IncRegion()
+	r.AddBusy(0, 40*time.Millisecond)
+	for id := 1; id < 4; id++ {
+		r.AddBusy(id, 10*time.Millisecond)
+	}
+	r.AddWait(1, 5*time.Millisecond)
+	r.AddWait(-1, 2*time.Millisecond) // unattributed still aggregates
+	r.AddJoin(3 * time.Millisecond)
+	r.IncCancel()
+	r.IncPanic()
+
+	s := r.Snapshot()
+	if s.Regions != 2 || s.Cancellations != 1 || s.Panics != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.BarrierWaits != 2 || s.BarrierWait != 7*time.Millisecond {
+		t.Fatalf("aggregate wait wrong: waits=%d wait=%v", s.BarrierWaits, s.BarrierWait)
+	}
+	if s.Wait[1] != 5*time.Millisecond {
+		t.Fatalf("worker 1 wait = %v", s.Wait[1])
+	}
+	if s.JoinWait != 3*time.Millisecond {
+		t.Fatalf("join wait = %v", s.JoinWait)
+	}
+	// mean busy = 70ms/4 = 17.5ms, max = 40ms -> ratio 40/17.5.
+	want := 40.0 / 17.5
+	if got := s.Imbalance(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("imbalance = %v, want %v", got, want)
+	}
+	if s.MaxBusy() != 40*time.Millisecond || s.MinBusy() != 10*time.Millisecond {
+		t.Fatalf("max/min busy = %v/%v", s.MaxBusy(), s.MinBusy())
+	}
+	if !strings.Contains(s.String(), "imbalance") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestOutOfRangeWorkerDropped(t *testing.T) {
+	r := New(2)
+	r.AddBusy(5, time.Second)  // dropped, no panic
+	r.AddBusy(-1, time.Second) // dropped, no panic
+	r.AddWait(9, time.Second)  // aggregate only
+	s := r.Snapshot()
+	if s.Busy[0] != 0 || s.Busy[1] != 0 {
+		t.Fatalf("out-of-range busy leaked: %+v", s.Busy)
+	}
+	if s.BarrierWait != time.Second {
+		t.Fatalf("aggregate wait = %v, want 1s", s.BarrierWait)
+	}
+}
+
+func TestImbalanceEmpty(t *testing.T) {
+	if got := New(3).Snapshot().Imbalance(); got != 0 {
+		t.Fatalf("imbalance with no busy time = %v, want 0", got)
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines;
+// under -race this is the lock-freedom regression test.
+func TestRecorderConcurrent(t *testing.T) {
+	r := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.IncRegion()
+				r.AddBusy(w, time.Microsecond)
+				r.AddWait(w, time.Microsecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Regions != 8000 {
+		t.Fatalf("regions = %d, want 8000", s.Regions)
+	}
+	for w := 0; w < 8; w++ {
+		if s.Busy[w] != time.Millisecond {
+			t.Fatalf("worker %d busy = %v, want 1ms", w, s.Busy[w])
+		}
+	}
+}
+
+// TestServeExposesExpvarAndPprof boots the live endpoint on a free
+// port, registers a recorder, and checks /debug/vars carries the
+// npb.obs registry and /debug/pprof/ responds.
+func TestServeExposesExpvarAndPprof(t *testing.T) {
+	r := New(2)
+	r.IncRegion()
+	r.AddBusy(0, 2*time.Millisecond)
+	r.AddBusy(1, time.Millisecond)
+	Register("TEST.S.t2", r)
+	defer Register("TEST.S.t2", nil)
+
+	addr, shutdown, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer shutdown()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return body
+	}
+
+	var vars struct {
+		Obs map[string]statsView `json:"npb.obs"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	cell, ok := vars.Obs["TEST.S.t2"]
+	if !ok {
+		t.Fatalf("npb.obs missing registered cell: %+v", vars.Obs)
+	}
+	if cell.Regions != 1 || cell.Workers != 2 || cell.Imbalance <= 1 {
+		t.Fatalf("cell view wrong: %+v", cell)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index unexpected: %.200s", body)
+	}
+}
+
+// TestRegisterReplaceAndRemove: same-name registration replaces; nil
+// removes.
+func TestRegisterReplaceAndRemove(t *testing.T) {
+	a, b := New(1), New(1)
+	b.IncRegion()
+	Register("cell", a)
+	Register("cell", b)
+	if got := snapshotAll()["cell"].Regions; got != 1 {
+		t.Fatalf("replacement not visible: regions = %d", got)
+	}
+	Register("cell", nil)
+	if _, ok := snapshotAll()["cell"]; ok {
+		t.Fatal("nil registration did not remove the cell")
+	}
+}

@@ -1,0 +1,108 @@
+// Registry and live endpoint: named recorders are published as one
+// expvar variable ("npb.obs"), and Serve exposes expvar plus
+// net/http/pprof on a local port so a long sweep can be profiled while
+// it runs — the production-style "look inside the process" hooks every
+// perf investigation in the paper needed.
+
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+var (
+	regMu       sync.Mutex
+	registry    = map[string]*Recorder{}
+	publishOnce sync.Once
+)
+
+// Register names a recorder in the process-wide registry, replacing any
+// previous recorder under the same name. The first registration
+// publishes the "npb.obs" expvar, so registry contents appear at
+// /debug/vars on any expvar endpoint (including Serve's).
+func Register(name string, r *Recorder) {
+	publishOnce.Do(func() {
+		expvar.Publish("npb.obs", expvar.Func(func() any { return snapshotAll() }))
+	})
+	regMu.Lock()
+	defer regMu.Unlock()
+	if r == nil {
+		delete(registry, name)
+		return
+	}
+	registry[name] = r
+}
+
+// statsView is the JSON shape of one registry entry: durations in
+// seconds (the paper's unit), never nanosecond ints.
+type statsView struct {
+	Workers       int       `json:"workers"`
+	Regions       uint64    `json:"regions"`
+	Cancellations uint64    `json:"cancellations"`
+	Panics        uint64    `json:"panics"`
+	BarrierWaits  uint64    `json:"barrier_waits"`
+	BarrierSec    float64   `json:"barrier_wait_sec"`
+	JoinSec       float64   `json:"join_wait_sec"`
+	BusySec       []float64 `json:"worker_busy_sec"`
+	WaitSec       []float64 `json:"worker_wait_sec"`
+	Imbalance     float64   `json:"imbalance"`
+}
+
+func viewOf(s *Stats) statsView {
+	v := statsView{
+		Workers:       s.Workers,
+		Regions:       s.Regions,
+		Cancellations: s.Cancellations,
+		Panics:        s.Panics,
+		BarrierWaits:  s.BarrierWaits,
+		BarrierSec:    s.BarrierWait.Seconds(),
+		JoinSec:       s.JoinWait.Seconds(),
+		BusySec:       make([]float64, len(s.Busy)),
+		WaitSec:       make([]float64, len(s.Wait)),
+		Imbalance:     s.Imbalance(),
+	}
+	for i, d := range s.Busy {
+		v.BusySec[i] = d.Seconds()
+	}
+	for i, d := range s.Wait {
+		v.WaitSec[i] = d.Seconds()
+	}
+	return v
+}
+
+func snapshotAll() map[string]statsView {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make(map[string]statsView, len(registry))
+	for name, r := range registry {
+		out[name] = viewOf(r.Snapshot())
+	}
+	return out
+}
+
+// Serve starts the live observability endpoint on addr ("host:port";
+// port 0 picks a free one) with expvar at /debug/vars and the standard
+// pprof handlers under /debug/pprof/. It returns the bound address and
+// a shutdown function. The handlers live on a private mux, so the
+// process-global http.DefaultServeMux stays clean.
+func Serve(addr string) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Close() makes Serve return ErrServerClosed
+	return ln.Addr().String(), srv.Close, nil
+}

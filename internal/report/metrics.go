@@ -1,0 +1,55 @@
+// Structured per-cell metrics records: one JSON object per (benchmark,
+// class, threads) cell, written as JSON Lines so sweeps can be appended
+// to a single file and post-processed with standard tooling. The record
+// carries the obs-layer runtime counters (per-worker busy and
+// barrier-wait time, imbalance ratio) next to the headline numbers, so
+// a load-balance anomaly like the paper's §5.2 CG scheduling problem is
+// visible in the same row as the slowdown it causes.
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PhaseMetric is one named phase of a run profile.
+type PhaseMetric struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Laps    int     `json:"laps,omitempty"`
+}
+
+// CellMetrics is the structured record for one sweep cell.
+type CellMetrics struct {
+	Benchmark string  `json:"benchmark"`
+	Class     string  `json:"class"`
+	Threads   int     `json:"threads"` // 0 = serial reference
+	Elapsed   float64 `json:"elapsed_sec"`
+	Mops      float64 `json:"mops"`
+	Verified  bool    `json:"verified"`
+	Attempts  int     `json:"attempts,omitempty"`
+	Error     string  `json:"error,omitempty"`
+
+	// Obs-layer runtime counters; zero-valued when obs was disabled.
+	Regions       uint64    `json:"regions,omitempty"`
+	Cancellations uint64    `json:"cancellations,omitempty"`
+	Panics        uint64    `json:"panics,omitempty"`
+	WorkerBusy    []float64 `json:"worker_busy_sec,omitempty"`
+	WorkerWait    []float64 `json:"worker_barrier_wait_sec,omitempty"`
+	BarrierWait   float64   `json:"barrier_wait_sec,omitempty"`
+	JoinWait      float64   `json:"join_wait_sec,omitempty"`
+	Imbalance     float64   `json:"imbalance,omitempty"`
+
+	TopPhases []PhaseMetric `json:"top_phases,omitempty"`
+}
+
+// WriteJSONL writes v as one JSON line.
+func WriteJSONL(w io.Writer, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := CellMetrics{
+		Benchmark:  "cg",
+		Class:      "S",
+		Threads:    4,
+		Elapsed:    1.25,
+		Mops:       42.0,
+		Verified:   true,
+		Regions:    100,
+		WorkerBusy: []float64{1.0, 0.9, 1.1, 1.0},
+		Imbalance:  1.1,
+		TopPhases:  []PhaseMetric{{Name: "t_conj_grad", Seconds: 1.2, Laps: 15}},
+	}
+	if err := WriteJSONL(&buf, rec); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not exactly one line: %q", line)
+	}
+	var back CellMetrics
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Benchmark != "cg" || back.Threads != 4 || back.Imbalance != 1.1 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if len(back.TopPhases) != 1 || back.TopPhases[0].Laps != 15 {
+		t.Fatalf("phases lost: %+v", back.TopPhases)
+	}
+}
+
+func TestWriteJSONLOmitsDisabledObs(t *testing.T) {
+	var buf bytes.Buffer
+	rec := CellMetrics{Benchmark: "ep", Class: "S", Threads: 1, Verified: true}
+	if err := WriteJSONL(&buf, rec); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	s := buf.String()
+	for _, key := range []string{"regions", "worker_busy_sec", "imbalance", "top_phases", "error"} {
+		if strings.Contains(s, key) {
+			t.Fatalf("disabled-obs record should omit %q: %s", key, s)
+		}
+	}
+}

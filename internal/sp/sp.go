@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"npbgo/internal/nscore"
+	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/verify"
@@ -46,7 +47,8 @@ type Benchmark struct {
 	c       nscore.Consts
 	f       *nscore.Field
 
-	timers *timer.Set // nil unless WithTimers
+	timers *timer.Set    // nil unless WithTimers
+	rec    *obs.Recorder // nil without WithObs
 
 	// Derived constants specific to SP's scalar solver.
 	dttx1, dttx2, dtty1, dtty2, dttz1, dttz2 float64
@@ -80,6 +82,11 @@ func band(a []float64, b, i int) *float64 { return &a[b+5*i] }
 
 // Option configures optional benchmark behaviour.
 type Option func(*Benchmark)
+
+// WithObs attaches a runtime-metrics recorder to the run's team:
+// per-worker busy and barrier-wait times, region counts and the
+// worker-imbalance ratio of the obs layer.
+func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
 
 // WithTimers enables per-phase profiling of the factorization steps.
 func WithTimers() Option { return func(b *Benchmark) { b.timers = timer.NewSet() } }
@@ -269,7 +276,7 @@ type Result struct {
 // feed-through step, re-initialization, then niter timed steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads)
+	tm := team.New(b.threads, team.WithRecorder(b.rec))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

@@ -29,8 +29,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"npbgo/internal/fault"
+	"npbgo/internal/obs"
 )
 
 // PanicError reports a panic captured on a team worker during a parallel
@@ -66,8 +68,13 @@ type Team struct {
 	work    []chan func(int)
 	done    chan struct{}
 	barrier barrier
-	partial []padded // reduction scratch, one padded slot per worker
-	closed  bool
+	partial []padded    // reduction scratch, one padded slot per worker
+	closed  atomic.Bool // set once by Close; guarded by CAS so Close races with itself safely
+
+	// rec is the optional obs recorder (WithRecorder). When nil —
+	// the default — every instrumentation point is a single pointer
+	// check, so an unobserved team pays nothing measurable.
+	rec *obs.Recorder
 
 	inRegion atomic.Bool // guards against nested parallel regions
 
@@ -88,11 +95,22 @@ type padded struct {
 	_ [7]float64
 }
 
+// Option configures optional team behaviour at construction.
+type Option func(*Team)
+
+// WithRecorder attaches an obs recorder: the team charges per-worker
+// busy time, barrier-wait time and region/cancellation/panic counts to
+// it. rec should be sized obs.New(n) for a team of n; a nil rec leaves
+// observation disabled.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(t *Team) { t.rec = rec }
+}
+
 // New creates a team of n workers (n >= 1). Workers other than worker 0
 // are persistent goroutines parked on their work channels, mirroring the
 // paper's always-alive Thread objects in the blocked state. Close the
 // team when done to release them.
-func New(n int) *Team {
+func New(n int, opts ...Option) *Team {
 	if n < 1 {
 		panic(fmt.Sprintf("team: size %d < 1", n))
 	}
@@ -102,7 +120,10 @@ func New(n int) *Team {
 		done:    make(chan struct{}, n),
 		partial: make([]padded, n),
 	}
-	t.barrier.init(n, &t.halt)
+	for _, o := range opts {
+		o(t)
+	}
+	t.barrier.init(n, &t.halt, t.rec)
 	for id := 1; id < n; id++ {
 		t.work[id] = make(chan func(int))
 		go t.worker(id)
@@ -122,6 +143,12 @@ func (t *Team) worker(id int) {
 // barrier so parked siblings unwind; the regionAbort sentinel those
 // siblings throw is swallowed here.
 func (t *Team) runOne(fn func(int), id int) {
+	if t.rec != nil {
+		start := time.Now()
+		// Registered before the recover defer so it runs after it:
+		// a panicking worker's time is still charged.
+		defer func() { t.rec.AddBusy(id, time.Since(start)) }()
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			if _, ok := v.(regionAbort); ok {
@@ -142,6 +169,9 @@ func (t *Team) notePanic(id int, v any, stack []byte) {
 		t.regionFail.Others++
 	}
 	t.failMu.Unlock()
+	if t.rec != nil {
+		t.rec.IncPanic()
+	}
 	t.barrier.poison()
 }
 
@@ -154,10 +184,14 @@ func (t *Team) Cancel(reason error) {
 		reason = context.Canceled
 	}
 	t.failMu.Lock()
-	if t.cancelErr == nil {
+	first := t.cancelErr == nil
+	if first {
 		t.cancelErr = reason
 	}
 	t.failMu.Unlock()
+	if first && t.rec != nil {
+		t.rec.IncCancel()
+	}
 	t.halt.Store(true)
 	t.barrier.poison()
 }
@@ -195,12 +229,13 @@ func (t *Team) Size() int { return t.n }
 
 // Close shuts the worker goroutines down. The team must be idle (no
 // region in flight); a team whose last region failed or was cancelled is
-// idle once Run/RunCtx has returned. Close is idempotent.
+// idle once Run/RunCtx has returned. Close is idempotent and safe to
+// call from multiple goroutines: exactly one caller wins the
+// compare-and-swap and closes the work channels.
 func (t *Team) Close() {
-	if t.closed {
+	if !t.closed.CompareAndSwap(false, true) {
 		return
 	}
-	t.closed = true
 	for id := 1; id < t.n; id++ {
 		close(t.work[id])
 	}
@@ -241,11 +276,14 @@ func (t *Team) RunCtx(ctx context.Context, fn func(id int)) error {
 }
 
 func (t *Team) run(fn func(id int)) error {
-	if t.closed {
+	if t.closed.Load() {
 		panic("team: Run on closed team")
 	}
 	if t.halt.Load() {
 		return t.cancelReason()
+	}
+	if t.rec != nil {
+		t.rec.IncRegion()
 	}
 	if t.n == 1 {
 		t.runOne(fn, 0)
@@ -262,8 +300,17 @@ func (t *Team) run(fn func(id int)) error {
 		t.work[id] <- fn
 	}
 	t.runOne(fn, 0)
+	var joinStart time.Time
+	if t.rec != nil {
+		joinStart = time.Now()
+	}
 	for id := 1; id < t.n; id++ {
 		<-t.done
+	}
+	if t.rec != nil {
+		// Join wait: how long the slowest worker ran past the master —
+		// the skew the imbalance ratio summarizes per run.
+		t.rec.AddJoin(time.Since(joinStart))
 	}
 	return t.takeFailure()
 }
@@ -298,10 +345,23 @@ func (t *Team) takeFailure() error {
 // it. It must be called by all Size() workers exactly the same number of
 // times inside a region, as with an OpenMP barrier. If the region failed
 // or the team was cancelled, Barrier unwinds the calling worker instead
-// of deadlocking.
+// of deadlocking. Barrier-wait time is charged to the team's obs
+// recorder in aggregate only; use BarrierID inside region bodies (where
+// the worker id is in scope) for per-worker attribution.
 func (t *Team) Barrier() {
 	if t.n > 1 {
-		t.barrier.await()
+		t.barrier.await(-1)
+	}
+}
+
+// BarrierID is Barrier with per-worker wait attribution: id must be the
+// calling worker's region id. With an obs recorder attached, the time
+// this worker spends parked is charged to its wait slot — the signal
+// that exposed the paper's LU pipeline stalls as per-thread timing
+// asymmetry. Without a recorder it behaves exactly like Barrier.
+func (t *Team) BarrierID(id int) {
+	if t.n > 1 {
+		t.barrier.await(id)
 	}
 }
 
@@ -332,13 +392,34 @@ func Block(lo, hi, parts, id int) (blo, bhi int) {
 	return blo, bhi
 }
 
+// inline runs a size-1 team's loop body on the caller with the same
+// region accounting as a dispatched region. Callers have already
+// checked the halt flag.
+func (t *Team) inline(fn func()) {
+	if t.rec == nil {
+		fn()
+		return
+	}
+	t.rec.IncRegion()
+	start := time.Now()
+	fn()
+	t.rec.AddBusy(0, time.Since(start))
+}
+
 // For runs body(i) for every i in [lo, hi) with iterations statically
 // blocked over the team, as a complete parallel region (fork + join).
+// On a cancelled team For is a no-op, like Run; callers observe the
+// cancellation through Cancelled().
 func (t *Team) For(lo, hi int, body func(i int)) {
 	if t.n == 1 {
-		for i := lo; i < hi; i++ {
-			body(i)
+		if t.halt.Load() {
+			return // same no-op semantics as the dispatched n>1 path
 		}
+		t.inline(func() {
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		})
 		return
 	}
 	t.Run(func(id int) {
@@ -352,10 +433,14 @@ func (t *Team) For(lo, hi int, body func(i int)) {
 // ForBlock runs body(blo, bhi) once per worker with that worker's static
 // share of [lo, hi), as a complete parallel region. Benchmarks use this
 // form so the worker can keep its own inner loop nests, exactly like the
-// translated Java run() bodies.
+// translated Java run() bodies. On a cancelled team ForBlock is a
+// no-op, like Run.
 func (t *Team) ForBlock(lo, hi int, body func(blo, bhi int)) {
 	if t.n == 1 {
-		body(lo, hi)
+		if t.halt.Load() {
+			return // same no-op semantics as the dispatched n>1 path
+		}
+		t.inline(func() { body(lo, hi) })
 		return
 	}
 	t.Run(func(id int) {
@@ -367,15 +452,28 @@ func (t *Team) ForBlock(lo, hi int, body func(blo, bhi int)) {
 // ReduceSum runs body over static blocks of [lo, hi), each worker
 // returning its partial sum, and returns the total. Partials are
 // accumulated in deterministic worker order so that a run with a given
-// team size is bit-reproducible.
+// team size is bit-reproducible. On a cancelled team the region is
+// skipped and ReduceSum returns 0 — never a sum of stale partials from
+// an earlier region — so callers must check Cancelled() before using
+// the result.
 func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
+	if t.halt.Load() {
+		return 0
+	}
 	if t.n == 1 {
-		return body(lo, hi)
+		var sum float64
+		t.inline(func() { sum = body(lo, hi) })
+		return sum
 	}
 	t.Run(func(id int) {
 		blo, bhi := Block(lo, hi, t.n, id)
 		t.partial[id].v = body(blo, bhi)
 	})
+	if t.halt.Load() {
+		// The region was skipped or unwound mid-flight: some slots may
+		// still hold a previous region's partials.
+		return 0
+	}
 	sum := 0.0
 	for id := 0; id < t.n; id++ {
 		sum += t.partial[id].v
@@ -387,8 +485,13 @@ func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
 // their own reductions across barriers.
 func (t *Team) Partial(id int) *float64 { return &t.partial[id].v }
 
-// PartialSum adds up all reduction slots in worker order.
+// PartialSum adds up all reduction slots in worker order. On a
+// cancelled team it returns 0: the slots may mix the aborted region's
+// partials with an earlier region's, so no sum of them is meaningful.
 func (t *Team) PartialSum() float64 {
+	if t.halt.Load() {
+		return 0
+	}
 	sum := 0.0
 	for id := 0; id < t.n; id++ {
 		sum += t.partial[id].v
@@ -401,8 +504,13 @@ func (t *Team) PartialSum() float64 {
 // paper's SGI the JVM ran CG's lightly-loaded threads on only 1–2
 // processors until each thread was given a large initialization load,
 // after which every thread got its own CPU. iters controls the per-worker
-// load; the returned value defeats dead-code elimination.
+// load; the returned value defeats dead-code elimination. On a
+// cancelled team Warmup is a no-op returning 0, like the regions it is
+// built from.
 func (t *Team) Warmup(iters int) float64 {
+	if t.halt.Load() {
+		return 0
+	}
 	t.Run(func(id int) {
 		x := 1.0 + float64(id)
 		s := 0.0
@@ -432,13 +540,15 @@ type barrier struct {
 	n      int
 	count  int
 	gen    uint64
-	broken bool         // per-region poison (a worker panicked)
-	halt   *atomic.Bool // sticky team cancellation, never cleared here
+	broken bool          // per-region poison (a worker panicked)
+	halt   *atomic.Bool  // sticky team cancellation, never cleared here
+	rec    *obs.Recorder // optional wait-time accounting; nil when unobserved
 }
 
-func (b *barrier) init(n int, halt *atomic.Bool) {
+func (b *barrier) init(n int, halt *atomic.Bool, rec *obs.Recorder) {
 	b.n = n
 	b.halt = halt
+	b.rec = rec
 	b.cond = sync.NewCond(&b.mu)
 }
 
@@ -464,7 +574,10 @@ func (b *barrier) poisoned() bool {
 	return b.broken || b.halt.Load()
 }
 
-func (b *barrier) await() {
+// await parks the caller until the barrier trips. id attributes the
+// wait time to a worker's obs slot; id < 0 records it in aggregate
+// only. The last arriver trips the barrier and records no wait.
+func (b *barrier) await(id int) {
 	b.mu.Lock()
 	if b.poisoned() {
 		b.mu.Unlock()
@@ -479,8 +592,15 @@ func (b *barrier) await() {
 		b.mu.Unlock()
 		return
 	}
+	var waitStart time.Time
+	if b.rec != nil {
+		waitStart = time.Now()
+	}
 	for gen == b.gen && !b.poisoned() {
 		b.cond.Wait()
+	}
+	if b.rec != nil {
+		b.rec.AddWait(id, time.Since(waitStart))
 	}
 	bad := b.poisoned()
 	b.mu.Unlock()

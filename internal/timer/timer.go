@@ -2,38 +2,85 @@
 // (t_total, t_rhs, ... in the Fortran sources). Each benchmark owns a Set
 // and charges phases to slots; the harness reads the totals to build the
 // per-phase profiles discussed in the paper's profiling sections.
+//
+// A Set created with NewSet is unsynchronized, matching the master-only
+// charging the pseudo-applications do. NewConcurrentSet returns a
+// thread-safe Set for per-worker phase capture (each worker charging
+// its own names, e.g. timer.Worker("t_batch", id)) — the per-thread
+// profiles the paper's anomaly hunts needed. Every completed lap is
+// counted, so a phase profile reports both where time went and how many
+// times each phase ran.
 package timer
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Set is a collection of named stopwatch timers. The zero value is not
-// ready to use; create one with NewSet.
+// ready to use; create one with NewSet or NewConcurrentSet.
 type Set struct {
+	mu      sync.Mutex
+	locked  bool // concurrent mode: public methods take mu
 	elapsed map[string]time.Duration
 	started map[string]time.Time
+	laps    map[string]int
 	order   []string
 }
 
-// NewSet returns an empty timer set.
+// NewSet returns an empty, unsynchronized timer set for single-
+// goroutine (master-side) phase charging.
 func NewSet() *Set {
 	return &Set{
 		elapsed: make(map[string]time.Duration),
 		started: make(map[string]time.Time),
+		laps:    make(map[string]int),
 	}
 }
 
-// Clear zeroes the accumulated time of every timer.
+// NewConcurrentSet returns an empty timer set in thread-safe mode:
+// every method is safe for concurrent use, so region bodies can charge
+// per-worker phases (use distinct names per worker — two workers
+// start/stopping the same name would overwrite each other's lap).
+func NewConcurrentSet() *Set {
+	s := NewSet()
+	s.locked = true
+	return s
+}
+
+// Concurrent reports whether the set is in thread-safe mode.
+func (s *Set) Concurrent() bool { return s.locked }
+
+// Worker derives the conventional per-worker phase name, "name/w<id>".
+func Worker(name string, id int) string { return fmt.Sprintf("%s/w%d", name, id) }
+
+func (s *Set) lock() {
+	if s.locked {
+		s.mu.Lock()
+	}
+}
+
+func (s *Set) unlock() {
+	if s.locked {
+		s.mu.Unlock()
+	}
+}
+
+// Clear zeroes the accumulated time and lap counts of every timer.
 func (s *Set) Clear() {
+	s.lock()
+	defer s.unlock()
 	for k := range s.elapsed {
 		delete(s.elapsed, k)
 	}
 	for k := range s.started {
 		delete(s.started, k)
+	}
+	for k := range s.laps {
+		delete(s.laps, k)
 	}
 	s.order = s.order[:0]
 }
@@ -41,6 +88,8 @@ func (s *Set) Clear() {
 // Start begins (or resumes) the named timer. Starting an already-running
 // timer restarts its current lap without losing accumulated time.
 func (s *Set) Start(name string) {
+	s.lock()
+	defer s.unlock()
 	if _, seen := s.elapsed[name]; !seen {
 		s.elapsed[name] = 0
 		s.order = append(s.order, name)
@@ -49,35 +98,80 @@ func (s *Set) Start(name string) {
 }
 
 // Stop ends the current lap of the named timer, adding the lap to its
-// accumulated total. Stopping a timer that is not running is a no-op.
+// accumulated total and incrementing its lap count. Stopping a timer
+// that is not running is a no-op.
 func (s *Set) Stop(name string) {
+	s.lock()
+	defer s.unlock()
 	t0, ok := s.started[name]
 	if !ok {
 		return
 	}
 	delete(s.started, name)
 	s.elapsed[name] += time.Since(t0)
+	s.laps[name]++
 }
 
 // Elapsed reports the accumulated time of the named timer, excluding any
 // lap still in progress.
-func (s *Set) Elapsed(name string) time.Duration { return s.elapsed[name] }
+func (s *Set) Elapsed(name string) time.Duration {
+	s.lock()
+	defer s.unlock()
+	return s.elapsed[name]
+}
 
 // Seconds reports Elapsed in seconds, the unit the paper's tables use.
-func (s *Set) Seconds(name string) float64 { return s.elapsed[name].Seconds() }
+func (s *Set) Seconds(name string) float64 { return s.Elapsed(name).Seconds() }
+
+// Laps reports how many completed Start/Stop laps the named timer has
+// accumulated.
+func (s *Set) Laps(name string) int {
+	s.lock()
+	defer s.unlock()
+	return s.laps[name]
+}
 
 // Names returns the timer names in first-start order.
 func (s *Set) Names() []string {
+	s.lock()
+	defer s.unlock()
+	return s.namesLocked()
+}
+
+func (s *Set) namesLocked() []string {
 	out := make([]string, len(s.order))
 	copy(out, s.order)
+	return out
+}
+
+// Phase is one structured profile entry: a timer's accumulated seconds
+// and completed lap count.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Laps    int     `json:"laps"`
+}
+
+// Phases returns the structured profile in first-start order — the
+// machine-readable form of String, consumed by the harness's JSONL
+// metrics records.
+func (s *Set) Phases() []Phase {
+	s.lock()
+	defer s.unlock()
+	out := make([]Phase, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, Phase{Name: n, Seconds: s.elapsed[n].Seconds(), Laps: s.laps[n]})
+	}
 	return out
 }
 
 // String formats the set as an aligned profile table, phases in
 // first-start order, suitable for the per-benchmark profiles.
 func (s *Set) String() string {
+	s.lock()
+	defer s.unlock()
 	var b strings.Builder
-	names := s.Names()
+	names := s.namesLocked()
 	width := 0
 	for _, n := range names {
 		if len(n) > width {
@@ -85,7 +179,7 @@ func (s *Set) String() string {
 		}
 	}
 	for _, n := range names {
-		fmt.Fprintf(&b, "%-*s %12.6f s\n", width, n, s.Seconds(n))
+		fmt.Fprintf(&b, "%-*s %12.6f s  (%d laps)\n", width, n, s.elapsed[n].Seconds(), s.laps[n])
 	}
 	return b.String()
 }
@@ -93,7 +187,9 @@ func (s *Set) String() string {
 // SortedByElapsed returns timer names ordered by decreasing accumulated
 // time — the "top phases" view used when profiling a benchmark.
 func (s *Set) SortedByElapsed() []string {
-	names := s.Names()
+	s.lock()
+	defer s.unlock()
+	names := s.namesLocked()
 	sort.SliceStable(names, func(i, j int) bool {
 		return s.elapsed[names[i]] > s.elapsed[names[j]]
 	})

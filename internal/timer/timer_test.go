@@ -2,6 +2,7 @@ package timer
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -87,5 +88,77 @@ func TestStringContainsNames(t *testing.T) {
 	s.Stop("total")
 	if !strings.Contains(s.String(), "total") {
 		t.Fatalf("String() missing timer name: %q", s.String())
+	}
+}
+
+func TestLapsCounted(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 3; i++ {
+		s.Start("p")
+		s.Stop("p")
+	}
+	s.Stop("p") // no-op: not running, must not count a lap
+	if got := s.Laps("p"); got != 3 {
+		t.Fatalf("Laps = %d, want 3", got)
+	}
+	if got := s.Laps("missing"); got != 0 {
+		t.Fatalf("Laps(missing) = %d, want 0", got)
+	}
+}
+
+func TestPhasesStructuredProfile(t *testing.T) {
+	s := NewSet()
+	s.Start("total")
+	s.Start("rhs")
+	time.Sleep(2 * time.Millisecond)
+	s.Stop("rhs")
+	s.Stop("total")
+	ph := s.Phases()
+	if len(ph) != 2 || ph[0].Name != "total" || ph[1].Name != "rhs" {
+		t.Fatalf("Phases order = %+v, want total then rhs", ph)
+	}
+	if ph[1].Seconds <= 0 || ph[1].Laps != 1 {
+		t.Fatalf("rhs phase = %+v, want positive seconds and 1 lap", ph[1])
+	}
+}
+
+func TestWorkerName(t *testing.T) {
+	if got := Worker("t_batch", 3); got != "t_batch/w3" {
+		t.Fatalf("Worker = %q", got)
+	}
+}
+
+// TestConcurrentSetRaceClean exercises a concurrent-mode Set from many
+// goroutines at once, each charging its own per-worker phase names plus
+// one shared read path; run under -race (the Makefile race target) this
+// is the regression test for the thread-safe mode.
+func TestConcurrentSetRaceClean(t *testing.T) {
+	s := NewConcurrentSet()
+	if !s.Concurrent() {
+		t.Fatal("NewConcurrentSet not in concurrent mode")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := Worker("t_phase", w)
+			for i := 0; i < 200; i++ {
+				s.Start(name)
+				s.Stop(name)
+				_ = s.Elapsed(name)
+				_ = s.Laps(name)
+			}
+			_ = s.Names()
+			_ = s.Phases()
+			_ = s.SortedByElapsed()
+			_ = s.String()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		if got := s.Laps(Worker("t_phase", w)); got != 200 {
+			t.Fatalf("worker %d laps = %d, want 200", w, got)
+		}
 	}
 }

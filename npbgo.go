@@ -26,8 +26,10 @@ import (
 	"npbgo/internal/is"
 	"npbgo/internal/lu"
 	"npbgo/internal/mg"
+	"npbgo/internal/obs"
 	"npbgo/internal/sp"
 	"npbgo/internal/team"
+	"npbgo/internal/timer"
 	"npbgo/internal/verify"
 )
 
@@ -70,6 +72,13 @@ type Config struct {
 	// Buckets selects IS's bucketed ranking algorithm (the C original's
 	// USE_BUCKETS path). Ignored by the other benchmarks.
 	Buckets bool
+	// Obs collects runtime metrics for the run: per-worker busy and
+	// barrier-wait times, region/cancellation/panic counts and the
+	// worker-imbalance ratio land in Result.Obs, and the run's recorder
+	// is registered in the obs expvar registry under
+	// "<bench>.<class>.t<threads>" for live inspection. Obs implies
+	// Profile where the benchmark supports per-phase timers.
+	Obs bool
 }
 
 // Result reports one benchmark run.
@@ -84,6 +93,13 @@ type Result struct {
 	Tier      string  // "official", "golden" or "none"
 	Detail    string  // the full verification printout
 	Profile   string  // per-phase timing profile, if requested/available
+	// Phases is the structured form of Profile (seconds and lap counts
+	// per phase), nil unless Profile/Obs was requested and the
+	// benchmark owns a timer set.
+	Phases []timer.Phase
+	// Obs holds the run's per-worker runtime metrics, nil unless
+	// Config.Obs was set.
+	Obs *obs.Stats
 }
 
 func fromReport(r *Result, rep *verify.Report) {
@@ -180,7 +196,15 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return fail(ErrCancelled, err)
 	}
-	err, panicked := runBenchmark(ctx, cfg, &res)
+	var rec *obs.Recorder
+	if cfg.Obs {
+		rec = obs.New(cfg.Threads)
+		obs.Register(fmt.Sprintf("%s.%c.t%d", cfg.Benchmark, cfg.Class, cfg.Threads), rec)
+	}
+	err, panicked := runBenchmark(ctx, cfg, rec, &res)
+	if rec != nil {
+		res.Obs = rec.Snapshot()
+	}
 	if panicked {
 		return fail(ErrPanic, err)
 	}
@@ -196,11 +220,22 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
+// setProfile fills the textual and structured phase profiles from a
+// benchmark's timer set (nil-safe).
+func setProfile(res *Result, ts *timer.Set) {
+	if ts == nil {
+		return
+	}
+	res.Profile = ts.String()
+	res.Phases = ts.Phases()
+}
+
 // runBenchmark dispatches to the benchmark implementation with panic
 // isolation: any panic escaping the run — a *team.PanicError re-raised
 // by a crashed worker region, or a master-side panic — is recovered and
-// returned with panicked = true.
-func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, panicked bool) {
+// returned with panicked = true. rec, when non-nil, is attached to the
+// run's team for per-worker metrics.
+func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Result) (err error, panicked bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			panicked = true
@@ -211,10 +246,11 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 			}
 		}
 	}()
+	profile := cfg.Profile || cfg.Obs
 	switch cfg.Benchmark {
 	case BT:
-		var opts []bt.Option
-		if cfg.Profile {
+		opts := []bt.Option{bt.WithObs(rec)}
+		if profile {
 			opts = append(opts, bt.WithTimers())
 		}
 		b, err := bt.New(cfg.Class, cfg.Threads, opts...)
@@ -223,13 +259,11 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		if r.Timers != nil {
-			res.Profile = r.Timers.String()
-		}
+		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case SP:
-		var opts []sp.Option
-		if cfg.Profile {
+		opts := []sp.Option{sp.WithObs(rec)}
+		if profile {
 			opts = append(opts, sp.WithTimers())
 		}
 		b, err := sp.New(cfg.Class, cfg.Threads, opts...)
@@ -238,13 +272,11 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		if r.Timers != nil {
-			res.Profile = r.Timers.String()
-		}
+		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case LU:
-		var opts []lu.Option
-		if cfg.Profile {
+		opts := []lu.Option{lu.WithObs(rec)}
+		if profile {
 			opts = append(opts, lu.WithTimers())
 		}
 		b, err := lu.New(cfg.Class, cfg.Threads, opts...)
@@ -253,12 +285,10 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
-		if r.Timers != nil {
-			res.Profile = r.Timers.String()
-		}
+		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case FT:
-		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx))
+		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec))
 		if err != nil {
 			return err, false
 		}
@@ -266,7 +296,7 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case MG:
-		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx))
+		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec))
 		if err != nil {
 			return err, false
 		}
@@ -274,9 +304,12 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case CG:
-		opts := []cg.Option{cg.WithContext(ctx)}
+		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec)}
 		if cfg.Warmup {
 			opts = append(opts, cg.WithWarmup())
+		}
+		if profile {
+			opts = append(opts, cg.WithTimers())
 		}
 		b, err := cg.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
@@ -284,9 +317,10 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case IS:
-		var opts []is.Option
+		opts := []is.Option{is.WithObs(rec)}
 		if cfg.Buckets {
 			opts = append(opts, is.WithBuckets())
 		}
@@ -298,12 +332,17 @@ func runBenchmark(ctx context.Context, cfg Config, res *Result) (err error, pani
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case EP:
-		b, err := ep.New(cfg.Class, cfg.Threads, ep.WithContext(ctx))
+		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec)}
+		if profile {
+			opts = append(opts, ep.WithTimers())
+		}
+		b, err := ep.New(cfg.Class, cfg.Threads, opts...)
 		if err != nil {
 			return err, false
 		}
 		r := b.Run()
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
+		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	default:
 		return fmt.Errorf("npbgo: unknown benchmark %q", cfg.Benchmark), false
