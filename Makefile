@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint bench suite suite-obs tables clean
+.PHONY: build test test-race race vet lint bench bench-json suite suite-obs suite-trace tables clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,20 @@ suite:
 # per-cell JSONL, and a live expvar/pprof endpoint during the run.
 suite-obs:
 	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS) -obs
+
+# Suite sweep with the execution tracer on: one Chrome/Perfetto trace
+# file per cell in $(TRACEDIR), validated afterwards. Open any of them
+# at ui.perfetto.dev (or chrome://tracing).
+TRACEDIR ?= traces
+suite-trace:
+	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS) -trace $(TRACEDIR)
+	$(GO) run ./cmd/npbtrace validate $(TRACEDIR)/*.trace.json
+
+# Machine-readable perf trajectory: one stamped BENCH_<stamp>.json per
+# sweep accumulates under $(RESULTS) for cross-commit diffing.
+RESULTS ?= results
+bench-json:
+	$(GO) run ./cmd/npbsuite -class $(CLASS) -threads $(THREADS) -bench-json $(RESULTS)/
 
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)

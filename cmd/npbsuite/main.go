@@ -21,12 +21,25 @@
 // live /debug/vars (expvar, including the per-run recorders under
 // npb.obs) and /debug/pprof on a local port for the duration of the
 // sweep.
+//
+// -trace <dir> turns on the execution tracer: every cell records
+// per-worker event timelines (region blocks, barrier arrive/release,
+// LU pipeline waits) and writes one Chrome/Perfetto trace file per
+// cell into the directory — open them at ui.perfetto.dev, or check
+// them with `npbtrace validate`.
+//
+// -bench-json <path> writes the sweep's machine-readable performance
+// record (schema npbgo/bench/v1: per-cell Mop/s, time, threads,
+// imbalance under a stamped host header). Pointing it at a directory
+// auto-names the file BENCH_<stamp>.json, so repeated sweeps
+// accumulate a perf history.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -36,6 +49,7 @@ import (
 	"npbgo/internal/fault"
 	"npbgo/internal/harness"
 	"npbgo/internal/obs"
+	"npbgo/internal/report"
 )
 
 func main() {
@@ -49,6 +63,8 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "collect runtime metrics per cell and print the metrics summary")
 	obsListen := flag.String("obs-listen", "127.0.0.1:6060", "with -obs: address for the expvar/pprof endpoint (empty = no endpoint)")
 	obsJSONL := flag.String("obs-jsonl", "npb-metrics.jsonl", "with -obs: per-cell metrics JSONL file, appended (empty = no file)")
+	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace file per cell into this directory (enables execution tracing)")
+	benchJSON := flag.String("bench-json", "", "write the sweep's performance record as JSON to this path (a directory auto-names BENCH_<stamp>.json)")
 	listFaults := flag.Bool("list-faults", false, "print the registered fault injection site keys and exit")
 	flag.Parse()
 
@@ -81,12 +97,16 @@ func main() {
 		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	opt := harness.Options{
-		Warmup:  *warmup,
-		Repeats: *repeats,
-		Timeout: *timeout,
-		Retries: *retries,
-		Backoff: 500 * time.Millisecond,
-		Obs:     *obsFlag,
+		Warmup:   *warmup,
+		Repeats:  *repeats,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Backoff:  500 * time.Millisecond,
+		Obs:      *obsFlag,
+		TraceDir: *traceDir,
+	}
+	if *traceDir != "" {
+		fmt.Printf("trace: per-cell Perfetto timelines written to %s/ (open at ui.perfetto.dev)\n\n", *traceDir)
 	}
 	if *obsFlag {
 		if *obsListen != "" {
@@ -135,7 +155,50 @@ func main() {
 		fmt.Println()
 		fmt.Print(harness.ObsTable("Runtime metrics (imbalance = max busy / mean busy; cf. §5.2)", sweeps))
 	}
+	if *benchJSON != "" {
+		path, err := writeBenchRecord(*benchJSON, cl, sweeps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: bench-json: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("\nbench-json: performance record written to %s\n", path)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeBenchRecord writes the sweep's machine-readable performance
+// record. A directory path (existing, or ending in a separator) gets an
+// auto-stamped BENCH_<stamp>.json inside it and is created if missing.
+func writeBenchRecord(path string, class byte, sweeps []harness.Sweep) (string, error) {
+	stamp := time.Now().UTC().Format("20060102T150405Z")
+	isDir := strings.HasSuffix(path, string(os.PathSeparator))
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		isDir = true
+	}
+	if isDir {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return "", err
+		}
+		path = filepath.Join(path, "BENCH_"+stamp+".json")
+	}
+	rec := report.BenchRecord{
+		Schema:     report.BenchSchema,
+		Stamp:      stamp,
+		Class:      string(class),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Cells:      harness.CellRecords(sweeps),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	werr := report.WriteBenchJSON(f, rec)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return path, werr
 }

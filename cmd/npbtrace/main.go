@@ -1,0 +1,57 @@
+// Command npbtrace inspects the Chrome/Perfetto trace files written by
+// the execution tracer (npbsuite -trace, harness Options.TraceDir).
+//
+//	npbtrace validate file.trace.json...
+//	npbtrace summary  file.trace.json...
+//
+// validate checks the structural invariants a trace viewer assumes and
+// the tracer promises: every duration slice has a matching end and
+// nests strictly within its track, per-track timestamps are monotonic,
+// and every barrier flow arrow connects two recorded events. It prints
+// one line per valid file and exits non-zero on the first malformed
+// one, which is how CI gates the trace pipeline.
+//
+// summary prints the per-track event table of each file — a quick look
+// at which workers recorded what without opening a viewer.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"npbgo/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: npbtrace validate|summary file.trace.json...\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	mode := os.Args[1]
+	if mode != "validate" && mode != "summary" {
+		usage()
+	}
+	for _, path := range os.Args[2:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbtrace: %v\n", err)
+			os.Exit(1)
+		}
+		info, err := trace.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbtrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		switch mode {
+		case "validate":
+			fmt.Printf("ok %s: %d events, %d tracks, %d barrier flows\n",
+				path, info.Events, len(info.Tracks), info.FlowStarts)
+		case "summary":
+			fmt.Printf("%s:\n%s\n", path, info)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"npbgo/internal/analysis/gridindex"
 	"npbgo/internal/analysis/sharedwrite"
 	"npbgo/internal/analysis/timerpair"
+	"npbgo/internal/analysis/tracepair"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -20,5 +21,6 @@ func Analyzers() []*analysis.Analyzer {
 		gridindex.Analyzer,
 		sharedwrite.Analyzer,
 		timerpair.Analyzer,
+		tracepair.Analyzer,
 	}
 }

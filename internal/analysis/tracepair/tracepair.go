@@ -1,0 +1,78 @@
+// Package tracepair flags trace.Tracer.BeginPhase calls with no
+// matching EndPhase in the same function.
+//
+// Phase spans are the master track's named brackets in the exported
+// Perfetto timeline; trace.Validate rejects a file whose spans do not
+// pair and nest, so a BeginPhase whose EndPhase was lost to a refactor
+// turns every trace the benchmark emits into an unloadable file — at
+// sweep time, long after the edit. For each function, every
+// BeginPhase("name") with a literal name must be paired with at least
+// one EndPhase("name") (or defer EndPhase("name"), which covers all
+// return paths) with the same literal in the same function. Begins
+// with non-literal names are ignored: helpers that take the phase name
+// as a parameter — cg's timed() — own the pairing internally and
+// cannot be checked syntactically.
+package tracepair
+
+import (
+	"go/ast"
+
+	"npbgo/internal/analysis"
+)
+
+const tracePath = "npbgo/internal/trace"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tracepair",
+	Doc:  "flag trace.Tracer BeginPhase calls with no matching EndPhase for the same phase name in the same function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	type beginSite struct {
+		pos  ast.Node
+		name string
+	}
+	var begins []beginSite
+	ended := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		recv, method, isMeth := analysis.Receiver(pass.TypesInfo, call)
+		if !isMeth || !analysis.IsNamed(recv, tracePath, "Tracer") || len(call.Args) == 0 {
+			return true
+		}
+		name, isLit := analysis.StringLit(call.Args[0])
+		if !isLit {
+			return true
+		}
+		switch method {
+		case "BeginPhase":
+			begins = append(begins, beginSite{call, name})
+		case "EndPhase":
+			ended[name] = true
+		}
+		return true
+	})
+	for _, b := range begins {
+		if !ended[b.name] {
+			pass.Reportf(b.pos.Pos(),
+				"trace.BeginPhase(%q) has no matching EndPhase in %s; the exported timeline fails validation with an unclosed span", b.name, fn.Name.Name)
+		}
+	}
+}

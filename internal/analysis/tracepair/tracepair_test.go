@@ -1,0 +1,12 @@
+package tracepair_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/tracepair"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, tracepair.Analyzer, "testdata")
+}

@@ -15,6 +15,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -44,6 +45,7 @@ type Benchmark struct {
 
 	timers *timer.Set    // nil unless WithTimers
 	rec    *obs.Recorder // nil without WithObs
+	tr     *trace.Tracer // nil without WithTrace
 
 	scratch []*lineScratch // per-worker line solve storage
 }
@@ -55,6 +57,12 @@ type Option func(*Benchmark)
 // per-worker busy and barrier-wait times, region counts and the
 // worker-imbalance ratio of the obs layer.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithTimers enables per-phase profiling of the ADI steps (rhs and the
 // three solves), as the paper does when analyzing where the translated
@@ -98,7 +106,7 @@ type Result struct {
 // with re-initialization (as bt.f), then niter timed ADI steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

@@ -20,6 +20,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -54,6 +55,7 @@ type Benchmark struct {
 	warmup  bool
 	ctx     context.Context // nil means not cancellable
 	rec     *obs.Recorder   // nil without WithObs
+	tr      *trace.Tracer   // nil without WithTrace
 	timers  *timer.Set      // nil without WithTimers
 
 	ballastBytes int
@@ -77,6 +79,12 @@ func WithWarmup() Option { return func(b *Benchmark) { b.warmup = true } }
 // imbalance ratio — the instrumentation the paper's §5.2 CG diagnosis
 // was made with.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithTimers enables the per-phase profile (t_conj_grad, t_norm), the
 // cg.f timer slots the paper's profiling discussion uses.
@@ -148,7 +156,7 @@ type Result struct {
 // Run executes the benchmark: one untimed feed-through iteration, then
 // niter timed outer iterations, then verification, following cg.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)
@@ -212,9 +220,19 @@ func (b *Benchmark) Run() Result {
 	return res
 }
 
-// timed charges fn's wall time to the named master-side phase timer (a
-// direct call when profiling is off).
+// timed charges fn's wall time to the named master-side phase timer
+// and, when tracing, brackets it as a named phase span on the master
+// timeline (a direct call when both are off). The name reaches the
+// tracer as a parameter, so the Begin/End pairing is owned here —
+// call sites cannot leak a phase.
 func (b *Benchmark) timed(name string, fn func() float64) float64 {
+	if b.timers == nil && b.tr == nil {
+		return fn()
+	}
+	if b.tr != nil {
+		b.tr.BeginPhase(name)
+		defer b.tr.EndPhase(name)
+	}
 	if b.timers == nil {
 		return fn()
 	}

@@ -22,6 +22,7 @@ import (
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -52,6 +53,7 @@ type Benchmark struct {
 	threads int
 	ctx     context.Context // nil means not cancellable
 	rec     *obs.Recorder   // nil without WithObs
+	tr      *trace.Tracer   // nil without WithTrace
 	timers  *timer.Set      // nil without WithTimers
 }
 
@@ -67,6 +69,12 @@ func WithContext(ctx context.Context) Option {
 
 // WithObs attaches a runtime-metrics recorder to the run's team.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithTimers enables the per-worker phase profile: each worker charges
 // its batch loop to its own timer (t_batch/w<id>) on a concurrent set,
@@ -163,7 +171,7 @@ func (b *Benchmark) Run() Result {
 	}
 
 	states := make([]batchState, b.threads)
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -15,6 +15,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -69,6 +70,7 @@ type Benchmark struct {
 	threads int
 	ctx     context.Context // nil means not cancellable
 	rec     *obs.Recorder   // nil without WithObs
+	tr      *trace.Tracer   // nil without WithTrace
 
 	c          cube
 	u0, u1, u2 []complex128
@@ -83,6 +85,12 @@ type Option func(*Benchmark)
 // per-worker busy and barrier-wait times, region counts and the
 // worker-imbalance ratio of the obs layer.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithContext makes Run cancellable: when ctx expires the team is
 // cancelled and the timed iteration loop stops within about one
@@ -217,7 +225,7 @@ type Result struct {
 // section (initialization, forward FFT, niter evolve/inverse-FFT/
 // checksum steps), then verification, following ft.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/report"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 )
 
 // Run is one measured cell of a sweep.
@@ -35,10 +38,11 @@ type Run struct {
 	Mops     float64
 	Verified bool
 	Tier     string
-	Attempts int           // benchmark executions this cell consumed (retries and repeats included)
-	Err      error         // non-nil marks a failed cell (after all retries)
-	Obs      *obs.Stats    // runtime metrics of the kept repeat, nil unless Options.Obs
-	Phases   []timer.Phase // phase profile of the kept repeat, nil unless the benchmark exposes timers
+	Attempts int             // benchmark executions this cell consumed (retries and repeats included)
+	Err      error           // non-nil marks a failed cell (after all retries)
+	Obs      *obs.Stats      // runtime metrics of the kept repeat, nil unless Options.Obs
+	Phases   []timer.Phase   // phase profile of the kept repeat, nil unless the benchmark exposes timers
+	Trace    *trace.Snapshot // event timeline of the kept repeat, nil unless Options.TraceDir
 }
 
 // Sweep is the measured row set of one benchmark/class.
@@ -62,6 +66,14 @@ type Options struct {
 	// Metrics, when non-nil, receives one report.CellMetrics JSON line
 	// per cell as the sweep progresses.
 	Metrics io.Writer
+	// TraceDir, when non-empty, enables execution tracing
+	// (npbgo.Config.Trace) for every cell and writes each cell's
+	// timeline into the directory as Chrome/Perfetto JSON —
+	// "<BENCH>.<class>.t<N>.trace.json", with the serial baseline named
+	// "serial" — ready for ui.perfetto.dev. The directory is created if
+	// missing. A failed cell still writes its partial timeline; that
+	// trace is the post-mortem.
+	TraceDir string
 
 	// sleep replaces time.Sleep between retries; tests inject it to
 	// verify backoff without waiting.
@@ -96,6 +108,11 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 			errs = append(errs, fmt.Errorf("%s.%c %s: %w", bench, class, cell, r.Err))
 		}
 		sw.Runs = append(sw.Runs, r)
+		if opt.TraceDir != "" && r.Trace != nil {
+			if err := writeTrace(opt.TraceDir, bench, class, r); err != nil {
+				errs = append(errs, fmt.Errorf("%s.%c trace: %w", bench, class, err))
+			}
+		}
 		if opt.Metrics != nil {
 			if err := report.WriteJSONL(opt.Metrics, cellMetrics(bench, class, r)); err != nil {
 				errs = append(errs, fmt.Errorf("%s.%c metrics: %w", bench, class, err))
@@ -117,7 +134,7 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 		repeats = 1
 	}
 	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n,
-		Warmup: opt.Warmup, Obs: opt.Obs}
+		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != ""}
 	var best *Run
 	attempts := 0
 	for rep := 0; rep < repeats; rep++ {
@@ -128,10 +145,11 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 			// snapshot (cancellation counts, busy time up to the stop),
 			// which is exactly what a post-mortem wants to see.
 			return Run{Threads: threads, Attempts: attempts, Err: err,
-				Obs: res.Obs, Phases: res.Phases}
+				Obs: res.Obs, Phases: res.Phases, Trace: res.Trace}
 		}
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
-			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases}
+			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases,
+			Trace: res.Trace}
 		if best == nil || r.Elapsed < best.Elapsed {
 			cp := r
 			best = &cp
@@ -182,6 +200,33 @@ func runOnce(cfg npbgo.Config, timeout time.Duration) (res npbgo.Result, err err
 		defer cancel()
 	}
 	return npbgo.RunContext(ctx, cfg)
+}
+
+// cellName is the short per-cell tag used in trace filenames and
+// labels: "t<N>", or "serial" for the baseline column.
+func cellName(threads int) string {
+	if threads == 0 {
+		return "serial"
+	}
+	return fmt.Sprintf("t%d", threads)
+}
+
+// writeTrace exports one cell's event timeline as a Chrome/Perfetto
+// trace file into dir.
+func writeTrace(dir string, bench npbgo.Benchmark, class byte, r Run) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cell := cellName(r.Threads)
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.%c.%s.trace.json", bench, class, cell)))
+	if err != nil {
+		return err
+	}
+	werr := r.Trace.WriteChrome(f, fmt.Sprintf("%s.%c %s", bench, class, cell))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // failReason compresses a cell error into the short tag rendered inside
@@ -289,6 +334,19 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 		tb.AddRow(row...)
 	}
 	return tb.String()
+}
+
+// CellRecords flattens every measured cell of a sweep set into its
+// structured metrics record, in sweep order — the cell list of a
+// report.BenchRecord.
+func CellRecords(sweeps []Sweep) []report.CellMetrics {
+	var out []report.CellMetrics
+	for _, sw := range sweeps {
+		for _, r := range sw.Runs {
+			out = append(out, cellMetrics(sw.Benchmark, sw.Class, r))
+		}
+	}
+	return out
 }
 
 // cellMetrics flattens one measured cell into its structured JSONL

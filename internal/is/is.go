@@ -20,6 +20,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -48,6 +49,7 @@ type Benchmark struct {
 	threads int
 	buckets bool          // bucketed ranking (the C original's USE_BUCKETS path)
 	rec     *obs.Recorder // nil without WithObs
+	tr      *trace.Tracer // nil without WithTrace
 
 	keys  []int32 // the key array (regenerated at the start of Run)
 	buff2 []int32 // key copy used during ranking
@@ -70,6 +72,12 @@ type Option func(*Benchmark)
 // per-worker busy and barrier-wait times, region counts and the
 // worker-imbalance ratio of the obs layer.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithBuckets selects the bucketed ranking algorithm: keys are first
 // scattered into 2^10 coarse buckets, then counted bucket-by-bucket,
@@ -283,7 +291,7 @@ type Result struct {
 // Run executes the benchmark: key generation (untimed), one untimed
 // ranking pass, maxIterations timed passes, then full verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 
 	b.createSeq()

@@ -17,6 +17,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -46,6 +47,7 @@ type Benchmark struct {
 	hyper   bool // hyperplane-scheduled sweeps instead of pipelined
 	timers  *timer.Set
 	rec     *obs.Recorder // nil without WithObs
+	tr      *trace.Tracer // nil without WithTrace
 	c       nscore.Consts
 
 	u, rsd, frct []float64 // 5-vector fields, m fastest
@@ -75,6 +77,12 @@ type Option func(*Benchmark)
 // per-worker busy and barrier-wait times, region counts and the
 // worker-imbalance ratio of the obs layer.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithHyperplane selects hyperplane (wavefront) scheduling for the
 // triangular sweeps instead of the default j-pipelined scheduling — the
@@ -302,7 +310,7 @@ type Result struct {
 // initialization, forcing computation, then itmax timed SSOR iterations
 // and verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 
 	b.setbv()

@@ -136,11 +136,17 @@ func (b *Benchmark) ssor(tm *team.Team) time.Duration {
 	b.rhs(tm)
 	b.l2norm(b.rsd) // initial residual, reported by the cmd wrapper
 
-	pipe := team.NewPipeline(size, n)
+	// The team-wired pipeline charges per-plane stalls to each worker's
+	// obs wait slot and trace timeline — the paper's LU scalability
+	// culprit, made visible per worker instead of folded into run time.
+	pipe := tm.NewPipeline(n)
 	start := time.Now()
 	for istep := 1; istep <= b.itmax; istep++ {
 		if b.timers != nil {
 			b.timers.Start("scale+update")
+		}
+		if b.tr != nil {
+			b.tr.BeginPhase("scale+update")
 		}
 		// Scale the residual by the pseudo-time step.
 		tm.ForBlock(1, n-1, func(klo, khi int) {
@@ -157,6 +163,10 @@ func (b *Benchmark) ssor(tm *team.Team) time.Duration {
 		if b.timers != nil {
 			b.timers.Stop("scale+update")
 			b.timers.Start("sweeps")
+		}
+		if b.tr != nil {
+			b.tr.EndPhase("scale+update")
+			b.tr.BeginPhase("sweeps")
 		}
 		if b.hyper {
 			b.lowerSweepHyperplane(tm)
@@ -195,6 +205,10 @@ func (b *Benchmark) ssor(tm *team.Team) time.Duration {
 			b.timers.Stop("sweeps")
 			b.timers.Start("scale+update")
 		}
+		if b.tr != nil {
+			b.tr.EndPhase("sweeps")
+			b.tr.BeginPhase("scale+update")
+		}
 		// Update the flow variables.
 		tm.ForBlock(1, n-1, func(klo, khi int) {
 			for k := klo; k < khi; k++ {
@@ -211,9 +225,16 @@ func (b *Benchmark) ssor(tm *team.Team) time.Duration {
 			b.timers.Stop("scale+update")
 			b.timers.Start("rhs")
 		}
+		if b.tr != nil {
+			b.tr.EndPhase("scale+update")
+			b.tr.BeginPhase("rhs")
+		}
 		b.rhs(tm)
 		if b.timers != nil {
 			b.timers.Stop("rhs")
+		}
+		if b.tr != nil {
+			b.tr.EndPhase("rhs")
 		}
 	}
 	return time.Since(start)

@@ -152,6 +152,63 @@ func TestServeExposesExpvarAndPprof(t *testing.T) {
 	}
 }
 
+// TestServePprofSubroutes exercises the routing below /debug/pprof/:
+// named profiles come through the index handler, the explicitly
+// registered cmdline handler responds, and an unknown profile name is
+// rejected rather than silently served as the index page.
+func TestServePprofSubroutes(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer shutdown()
+
+	status := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := status("/debug/pprof/goroutine?debug=1"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("goroutine profile: status %d, body %.120q", code, body)
+	}
+	if code, _ := status("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("cmdline: status %d", code)
+	}
+	if code, _ := status("/debug/pprof/notaprofile"); code == http.StatusOK {
+		t.Fatal("unknown profile name served 200; want an error status")
+	}
+	if code, _ := status("/debug/nothere"); code != http.StatusNotFound {
+		t.Fatalf("unregistered path: status %d, want 404", code)
+	}
+}
+
+// TestSnapshotZeroRegions pins the edge case of a recorder that never
+// saw a region: every aggregate is zero (not NaN), the busy extrema
+// are zero, and the rendering helpers still produce output.
+func TestSnapshotZeroRegions(t *testing.T) {
+	s := New(3).Snapshot()
+	if s.Regions != 0 || s.BarrierWaits != 0 || s.BarrierWait != 0 || s.JoinWait != 0 {
+		t.Fatalf("fresh recorder has nonzero aggregates: %+v", s)
+	}
+	if got := s.Imbalance(); got != 0 {
+		t.Fatalf("imbalance = %v, want 0 (not NaN)", got)
+	}
+	if s.MaxBusy() != 0 || s.MinBusy() != 0 {
+		t.Fatalf("busy extrema = %v/%v, want 0/0", s.MaxBusy(), s.MinBusy())
+	}
+	if s.String() == "" {
+		t.Fatal("String() of an empty snapshot is empty")
+	}
+}
+
 // TestRegisterReplaceAndRemove: same-name registration replaces; nil
 // removes.
 func TestRegisterReplaceAndRemove(t *testing.T) {

@@ -43,6 +43,37 @@ type CellMetrics struct {
 	TopPhases []PhaseMetric `json:"top_phases,omitempty"`
 }
 
+// BenchSchema identifies the BenchRecord layout; bump it when the
+// record shape changes incompatibly so downstream tooling can dispatch.
+const BenchSchema = "npbgo/bench/v1"
+
+// BenchRecord is the machine-readable performance trajectory of one
+// suite sweep: every cell's headline numbers (Mop/s, elapsed time,
+// thread count, imbalance) under a stamped header describing the host.
+// One file per sweep (results/BENCH_<stamp>.json) accumulates into a
+// perf history that can be diffed across commits — the paper's tables,
+// but for trend tooling instead of eyeballs.
+type BenchRecord struct {
+	Schema     string        `json:"schema"` // BenchSchema
+	Stamp      string        `json:"stamp"`  // UTC, 20060102T150405Z
+	Class      string        `json:"class"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	Cells      []CellMetrics `json:"cells"`
+}
+
+// WriteBenchJSON writes rec as indented JSON (one record per file, so
+// indentation costs nothing and keeps the history reviewable).
+func WriteBenchJSON(w io.Writer, rec BenchRecord) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
 // WriteJSONL writes v as one JSON line.
 func WriteJSONL(w io.Writer, v any) error {
 	buf, err := json.Marshal(v)

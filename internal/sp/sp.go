@@ -17,6 +17,7 @@ import (
 	"npbgo/internal/obs"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -49,6 +50,7 @@ type Benchmark struct {
 
 	timers *timer.Set    // nil unless WithTimers
 	rec    *obs.Recorder // nil without WithObs
+	tr     *trace.Tracer // nil without WithTrace
 
 	// Derived constants specific to SP's scalar solver.
 	dttx1, dttx2, dtty1, dtty2, dttz1, dttz2 float64
@@ -87,6 +89,12 @@ type Option func(*Benchmark)
 // per-worker busy and barrier-wait times, region counts and the
 // worker-imbalance ratio of the obs layer.
 func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec } }
+
+// WithTrace attaches an execution tracer to the run's team: per-worker
+// event timelines (region blocks, barrier and pipeline waits),
+// exportable as Chrome/Perfetto JSON — the when-view that complements
+// the obs layer's how-much totals.
+func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
 // WithTimers enables per-phase profiling of the factorization steps.
 func WithTimers() Option { return func(b *Benchmark) { b.timers = timer.NewSet() } }
@@ -276,7 +284,7 @@ type Result struct {
 // feed-through step, re-initialization, then niter timed steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

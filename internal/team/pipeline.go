@@ -1,5 +1,12 @@
 package team
 
+import (
+	"time"
+
+	"npbgo/internal/obs"
+	"npbgo/internal/trace"
+)
+
 // Pipeline provides the point-to-point ordering used by LU's parallel
 // SSOR sweeps. The lower/upper triangular solves carry a dependence along
 // one grid dimension, so the OpenMP NPB (and the paper's Java port)
@@ -11,8 +18,28 @@ package team
 // Each worker owns a buffered channel of tokens; Post(id) publishes "my
 // next plane is done" and Wait(id) consumes the predecessor's token.
 // Tokens are consumed in order, so no plane indices need to travel.
+//
+// A pipeline built with Team.NewPipeline inherits the team's obs
+// recorder and tracer: time a worker spends parked for a token is
+// charged to its obs wait slot — the same attribution BarrierID gives
+// barriers, so LU's pipeline stalls show in the imbalance diagnostics —
+// and waits that actually block are recorded as spans on the worker's
+// trace timeline. The bare NewPipeline constructor stays
+// instrumentation-free.
 type Pipeline struct {
 	ready []chan struct{}
+	rec   *obs.Recorder
+	tr    *trace.Tracer
+	// Per-worker token counters for trace correlation. Each slot is
+	// only touched by its own worker's goroutine, padded against false
+	// sharing; they stay nil without a tracer.
+	waits, posts []pipeCounter
+}
+
+// pipeCounter is a per-worker counter on its own cache line.
+type pipeCounter struct {
+	n uint64
+	_ [7]uint64
 }
 
 // NewPipeline creates pipeline state for a team of n workers processing
@@ -27,11 +54,71 @@ func NewPipeline(n, steps int) *Pipeline {
 	return p
 }
 
+// NewPipeline creates a Pipeline sized for the team and wired to the
+// team's obs recorder and tracer, so the per-plane waits of a pipelined
+// sweep get the same per-worker attribution as barriers. It is the
+// constructor the benchmark kernels use.
+func (t *Team) NewPipeline(steps int) *Pipeline {
+	p := NewPipeline(t.n, steps)
+	p.rec = t.rec
+	p.tr = t.tr
+	if p.tr != nil {
+		p.waits = make([]pipeCounter, t.n)
+		p.posts = make([]pipeCounter, t.n)
+	}
+	return p
+}
+
+// recv consumes one token from the channel at index from on behalf of
+// worker id. An immediately-available token costs one channel receive,
+// as before; only a wait that actually blocks is timed and traced.
+func (p *Pipeline) recv(id, from int) {
+	ch := p.ready[from]
+	if p.rec == nil && p.tr == nil {
+		<-ch
+		return
+	}
+	select {
+	case <-ch:
+		return // token already posted: no stall to record
+	default:
+	}
+	var tok uint64
+	if p.tr != nil {
+		tok = p.waits[id].n
+		p.waits[id].n++
+		p.tr.PipeWaitBegin(id, tok)
+	}
+	var start time.Time
+	if p.rec != nil {
+		start = time.Now()
+	}
+	<-ch
+	if p.rec != nil {
+		p.rec.AddWait(id, time.Since(start))
+	}
+	if p.tr != nil {
+		p.tr.PipeWaitEnd(id, tok)
+	}
+}
+
+// send posts one token on worker id's own channel slot at index at.
+// The channels are buffered to the full stage count, so send never
+// blocks.
+func (p *Pipeline) send(id, at int) {
+	p.ready[at] <- struct{}{}
+	if p.tr != nil {
+		tok := p.posts[id].n
+		p.posts[id].n++
+		p.tr.PipeSignal(id, tok)
+	}
+}
+
 // Wait blocks worker id until its predecessor (id-1) has posted one more
 // completed stage. Worker 0 has no predecessor and never blocks.
 func (p *Pipeline) Wait(id int) {
 	if id > 0 {
-		<-p.ready[id-1]
+		p.recv(id, id-1)
 	}
 }
 
@@ -40,7 +127,7 @@ func (p *Pipeline) Wait(id int) {
 // (the channel is buffered to the full stage count).
 func (p *Pipeline) Post(id int) {
 	if id < len(p.ready)-1 {
-		p.ready[id] <- struct{}{}
+		p.send(id, id)
 	}
 }
 
@@ -49,7 +136,7 @@ func (p *Pipeline) Post(id int) {
 // pipeline in the opposite direction.
 func (p *Pipeline) WaitReverse(id int) {
 	if id < len(p.ready)-1 {
-		<-p.ready[id+1]
+		p.recv(id, id+1)
 	}
 }
 
@@ -57,7 +144,7 @@ func (p *Pipeline) WaitReverse(id int) {
 // releasing worker id-1.
 func (p *Pipeline) PostReverse(id int) {
 	if id > 0 {
-		p.ready[id] <- struct{}{}
+		p.send(id, id)
 	}
 }
 

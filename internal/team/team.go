@@ -33,6 +33,7 @@ import (
 
 	"npbgo/internal/fault"
 	"npbgo/internal/obs"
+	"npbgo/internal/trace"
 )
 
 // PanicError reports a panic captured on a team worker during a parallel
@@ -76,6 +77,14 @@ type Team struct {
 	// check, so an unobserved team pays nothing measurable.
 	rec *obs.Recorder
 
+	// tr is the optional execution tracer (WithTracer), under the same
+	// contract as rec: nil disables every trace point down to one
+	// pointer check.
+	tr *trace.Tracer
+	// regionSeq numbers parallel regions for trace correlation; it only
+	// advances while a tracer is attached.
+	regionSeq atomic.Uint64
+
 	inRegion atomic.Bool // guards against nested parallel regions
 
 	halt   atomic.Bool // sticky cancellation flag, read by Cancelled
@@ -106,6 +115,18 @@ func WithRecorder(rec *obs.Recorder) Option {
 	return func(t *Team) { t.rec = rec }
 }
 
+// WithTracer attaches an execution tracer: the team records region
+// fork/join, per-worker block begin/end, id-attributed barrier
+// arrive/release, reductions, cancellation and panics as timestamped
+// events on tr's per-worker rings. tr should be sized trace.New(n) for
+// a team of n; a nil tr leaves tracing disabled. While a tracer is
+// attached and the Go execution tracer is running, each region is also
+// annotated as a runtime/trace region, so `go tool trace` shows the
+// team's fork-join structure next to the scheduler view.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(t *Team) { t.tr = tr }
+}
+
 // New creates a team of n workers (n >= 1). Workers other than worker 0
 // are persistent goroutines parked on their work channels, mirroring the
 // paper's always-alive Thread objects in the blocked state. Close the
@@ -123,7 +144,7 @@ func New(n int, opts ...Option) *Team {
 	for _, o := range opts {
 		o(t)
 	}
-	t.barrier.init(n, &t.halt, t.rec)
+	t.barrier.init(n, &t.halt, t.rec, t.tr)
 	for id := 1; id < n; id++ {
 		t.work[id] = make(chan func(int))
 		go t.worker(id)
@@ -143,6 +164,14 @@ func (t *Team) worker(id int) {
 // barrier so parked siblings unwind; the regionAbort sentinel those
 // siblings throw is swallowed here.
 func (t *Team) runOne(fn func(int), id int) {
+	if t.tr != nil {
+		// The block span closes in a defer registered before the recover
+		// defer, so it runs after it: a panicking worker's block still
+		// ends, with the panic instant recorded inside it.
+		seq := t.regionSeq.Load()
+		t.tr.BlockBegin(id, seq)
+		defer t.tr.BlockEnd(id, seq)
+	}
 	if t.rec != nil {
 		start := time.Now()
 		// Registered before the recover defer so it runs after it:
@@ -172,6 +201,9 @@ func (t *Team) notePanic(id int, v any, stack []byte) {
 	if t.rec != nil {
 		t.rec.IncPanic()
 	}
+	if t.tr != nil {
+		t.tr.Panic(id)
+	}
 	t.barrier.poison()
 }
 
@@ -192,6 +224,9 @@ func (t *Team) Cancel(reason error) {
 	if first && t.rec != nil {
 		t.rec.IncCancel()
 	}
+	if first && t.tr != nil {
+		t.tr.Cancel(reason.Error())
+	}
 	t.halt.Store(true)
 	t.barrier.poison()
 }
@@ -208,20 +243,24 @@ func (t *Team) cancelReason() error {
 
 // WatchContext cancels the team when ctx is done. It returns a stop
 // function releasing the watcher goroutine; callers typically
-// `defer stop()` for the duration of a benchmark run.
+// `defer stop()` for the duration of a benchmark run. stop waits for
+// the watcher to exit, so after stop returns no cancellation side
+// effect (including its trace event) is still in flight.
 func (t *Team) WatchContext(ctx context.Context) (stop func()) {
 	if ctx == nil || ctx.Done() == nil {
 		return func() {}
 	}
 	quit := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		select {
 		case <-ctx.Done():
 			t.Cancel(ctx.Err())
 		case <-quit:
 		}
 	}()
-	return func() { close(quit) }
+	return func() { close(quit); <-done }
 }
 
 // Size returns the number of workers in the team.
@@ -285,6 +324,12 @@ func (t *Team) run(fn func(id int)) error {
 	if t.rec != nil {
 		t.rec.IncRegion()
 	}
+	if t.tr != nil {
+		seq := t.regionSeq.Add(1)
+		defer trace.StartRegion("team.region")()
+		t.tr.RegionBegin(seq)
+		defer t.tr.RegionEnd(seq)
+	}
 	if t.n == 1 {
 		t.runOne(fn, 0)
 		return t.takeFailure()
@@ -345,20 +390,25 @@ func (t *Team) takeFailure() error {
 // it. It must be called by all Size() workers exactly the same number of
 // times inside a region, as with an OpenMP barrier. If the region failed
 // or the team was cancelled, Barrier unwinds the calling worker instead
-// of deadlocking. Barrier-wait time is charged to the team's obs
-// recorder in aggregate only; use BarrierID inside region bodies (where
-// the worker id is in scope) for per-worker attribution.
-func (t *Team) Barrier() {
-	if t.n > 1 {
-		t.barrier.await(-1)
-	}
-}
+// of deadlocking.
+//
+// Barrier is a thin wrapper over BarrierID with the wait unattributed
+// (id -1): wait time is charged to the obs recorder in aggregate only,
+// and no trace events are recorded (an unattributed wait has no worker
+// timeline to land on). Region bodies — where the worker id is always
+// in scope — should call BarrierID instead; the benchmark kernels all
+// do, and this wrapper remains for id-free contexts such as tests and
+// examples.
+func (t *Team) Barrier() { t.BarrierID(-1) }
 
-// BarrierID is Barrier with per-worker wait attribution: id must be the
+// BarrierID is Barrier with per-worker attribution: id must be the
 // calling worker's region id. With an obs recorder attached, the time
 // this worker spends parked is charged to its wait slot — the signal
 // that exposed the paper's LU pipeline stalls as per-thread timing
-// asymmetry. Without a recorder it behaves exactly like Barrier.
+// asymmetry. With a tracer attached, the wait is recorded as an
+// arrive/release span on the worker's timeline, keyed by the barrier
+// generation so the exporter can link the trip with flow events.
+// Without either it behaves exactly like Barrier.
 func (t *Team) BarrierID(id int) {
 	if t.n > 1 {
 		t.barrier.await(id)
@@ -393,9 +443,18 @@ func Block(lo, hi, parts, id int) (blo, bhi int) {
 }
 
 // inline runs a size-1 team's loop body on the caller with the same
-// region accounting as a dispatched region. Callers have already
-// checked the halt flag.
+// region and trace accounting as a dispatched region. Callers have
+// already checked the halt flag.
 func (t *Team) inline(fn func()) {
+	if t.tr != nil {
+		seq := t.regionSeq.Add(1)
+		t.tr.RegionBegin(seq)
+		t.tr.BlockBegin(0, seq)
+		defer func() {
+			t.tr.BlockEnd(0, seq)
+			t.tr.RegionEnd(seq)
+		}()
+	}
 	if t.rec == nil {
 		fn()
 		return
@@ -463,6 +522,9 @@ func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
 	if t.n == 1 {
 		var sum float64
 		t.inline(func() { sum = body(lo, hi) })
+		if t.tr != nil {
+			t.tr.Reduce(t.regionSeq.Load())
+		}
 		return sum
 	}
 	t.Run(func(id int) {
@@ -477,6 +539,9 @@ func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
 	sum := 0.0
 	for id := 0; id < t.n; id++ {
 		sum += t.partial[id].v
+	}
+	if t.tr != nil {
+		t.tr.Reduce(t.regionSeq.Load())
 	}
 	return sum
 }
@@ -543,12 +608,14 @@ type barrier struct {
 	broken bool          // per-region poison (a worker panicked)
 	halt   *atomic.Bool  // sticky team cancellation, never cleared here
 	rec    *obs.Recorder // optional wait-time accounting; nil when unobserved
+	tr     *trace.Tracer // optional arrive/release events; nil when untraced
 }
 
-func (b *barrier) init(n int, halt *atomic.Bool, rec *obs.Recorder) {
+func (b *barrier) init(n int, halt *atomic.Bool, rec *obs.Recorder, tr *trace.Tracer) {
 	b.n = n
 	b.halt = halt
 	b.rec = rec
+	b.tr = tr
 	b.cond = sync.NewCond(&b.mu)
 }
 
@@ -575,20 +642,34 @@ func (b *barrier) poisoned() bool {
 }
 
 // await parks the caller until the barrier trips. id attributes the
-// wait time to a worker's obs slot; id < 0 records it in aggregate
-// only. The last arriver trips the barrier and records no wait.
+// wait time to a worker's obs slot and trace timeline; id < 0 records
+// it in aggregate only (and leaves no trace — there is no timeline to
+// put it on). The last arriver trips the barrier and records no wait.
+//
+// Trace events are emitted under the barrier mutex, so arrivals are
+// totally ordered: the latest arrive timestamp of a generation really
+// is the worker whose arrival tripped the barrier, which is what the
+// exporter's flow linking relies on. A worker unwound by poisoning
+// still emits its release, so arrive spans always close.
 func (b *barrier) await(id int) {
+	traced := b.tr != nil && id >= 0
 	b.mu.Lock()
 	if b.poisoned() {
 		b.mu.Unlock()
 		panic(regionAbort{})
 	}
 	gen := b.gen
+	if traced {
+		b.tr.BarrierArrive(id, gen)
+	}
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
+		if traced {
+			b.tr.BarrierRelease(id, gen)
+		}
 		b.mu.Unlock()
 		return
 	}
@@ -601,6 +682,9 @@ func (b *barrier) await(id int) {
 	}
 	if b.rec != nil {
 		b.rec.AddWait(id, time.Since(waitStart))
+	}
+	if traced {
+		b.tr.BarrierRelease(id, gen)
 	}
 	bad := b.poisoned()
 	b.mu.Unlock()

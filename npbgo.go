@@ -30,6 +30,7 @@ import (
 	"npbgo/internal/sp"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
+	"npbgo/internal/trace"
 	"npbgo/internal/verify"
 )
 
@@ -79,6 +80,16 @@ type Config struct {
 	// "<bench>.<class>.t<threads>" for live inspection. Obs implies
 	// Profile where the benchmark supports per-phase timers.
 	Obs bool
+	// Trace records per-worker event timelines for the run — region
+	// blocks, barrier arrive/release, LU pipeline waits, cancellations
+	// and panics — into fixed-capacity ring buffers; the snapshot lands
+	// in Result.Trace, exportable as Chrome/Perfetto JSON
+	// (Snapshot.WriteChrome) or a text timeline (Snapshot.Summary).
+	// While the Go execution tracer is active, the run is additionally
+	// annotated as a runtime/trace task with one region per parallel
+	// region, so `go tool trace` shows NPB phases beside the scheduler
+	// view.
+	Trace bool
 }
 
 // Result reports one benchmark run.
@@ -100,6 +111,9 @@ type Result struct {
 	// Obs holds the run's per-worker runtime metrics, nil unless
 	// Config.Obs was set.
 	Obs *obs.Stats
+	// Trace holds the run's event-timeline snapshot, nil unless
+	// Config.Trace was set.
+	Trace *trace.Snapshot
 }
 
 func fromReport(r *Result, rep *verify.Report) {
@@ -201,9 +215,21 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		rec = obs.New(cfg.Threads)
 		obs.Register(fmt.Sprintf("%s.%c.t%d", cfg.Benchmark, cfg.Class, cfg.Threads), rec)
 	}
-	err, panicked := runBenchmark(ctx, cfg, rec, &res)
+	var tr *trace.Tracer
+	if cfg.Trace {
+		tr = trace.New(cfg.Threads)
+		var endTask func()
+		ctx, endTask = trace.StartTask(ctx, fmt.Sprintf("%s.%c.t%d", cfg.Benchmark, cfg.Class, cfg.Threads))
+		defer endTask()
+	}
+	err, panicked := runBenchmark(ctx, cfg, rec, tr, &res)
 	if rec != nil {
 		res.Obs = rec.Snapshot()
+	}
+	if tr != nil {
+		// The benchmark's team has joined (or the panic was recovered),
+		// so the rings are quiescent and safe to snapshot.
+		res.Trace = tr.Snapshot()
 	}
 	if panicked {
 		return fail(ErrPanic, err)
@@ -233,9 +259,9 @@ func setProfile(res *Result, ts *timer.Set) {
 // runBenchmark dispatches to the benchmark implementation with panic
 // isolation: any panic escaping the run — a *team.PanicError re-raised
 // by a crashed worker region, or a master-side panic — is recovered and
-// returned with panicked = true. rec, when non-nil, is attached to the
-// run's team for per-worker metrics.
-func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Result) (err error, panicked bool) {
+// returned with panicked = true. rec and tr, when non-nil, are attached
+// to the run's team for per-worker metrics and event timelines.
+func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.Tracer, res *Result) (err error, panicked bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			panicked = true
@@ -249,7 +275,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 	profile := cfg.Profile || cfg.Obs
 	switch cfg.Benchmark {
 	case BT:
-		opts := []bt.Option{bt.WithObs(rec)}
+		opts := []bt.Option{bt.WithObs(rec), bt.WithTrace(tr)}
 		if profile {
 			opts = append(opts, bt.WithTimers())
 		}
@@ -262,7 +288,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case SP:
-		opts := []sp.Option{sp.WithObs(rec)}
+		opts := []sp.Option{sp.WithObs(rec), sp.WithTrace(tr)}
 		if profile {
 			opts = append(opts, sp.WithTimers())
 		}
@@ -275,7 +301,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case LU:
-		opts := []lu.Option{lu.WithObs(rec)}
+		opts := []lu.Option{lu.WithObs(rec), lu.WithTrace(tr)}
 		if profile {
 			opts = append(opts, lu.WithTimers())
 		}
@@ -288,7 +314,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case FT:
-		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec))
+		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec), ft.WithTrace(tr))
 		if err != nil {
 			return err, false
 		}
@@ -296,7 +322,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case MG:
-		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec))
+		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec), mg.WithTrace(tr))
 		if err != nil {
 			return err, false
 		}
@@ -304,7 +330,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case CG:
-		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec)}
+		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec), cg.WithTrace(tr)}
 		if cfg.Warmup {
 			opts = append(opts, cg.WithWarmup())
 		}
@@ -320,7 +346,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case IS:
-		opts := []is.Option{is.WithObs(rec)}
+		opts := []is.Option{is.WithObs(rec), is.WithTrace(tr)}
 		if cfg.Buckets {
 			opts = append(opts, is.WithBuckets())
 		}
@@ -332,7 +358,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, res *Resul
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case EP:
-		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec)}
+		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec), ep.WithTrace(tr)}
 		if profile {
 			opts = append(opts, ep.WithTimers())
 		}
