@@ -1,0 +1,203 @@
+// Command npbperf analyses the bench records written by npbsuite
+// -bench-json (schema npbgo/bench/v1): per-cell distribution
+// statistics, noise-aware record-to-record comparison, and the paper's
+// §5 scalability diagnostics.
+//
+//	npbperf stats   [-json] record.json...
+//	npbperf compare [-json] [-threshold 0.02] [-confidence 0.95] [-min-time 0.001] base.json head.json
+//	npbperf scaling [-json] [-imbalance 1.5] [-barrier-share 0.2] [-small-work 0.001] record.json...
+//
+// stats prints median/min/IQR and a bootstrap confidence interval of
+// the median for every cell of each record — run sweeps with
+// npbsuite -repeats N so cells carry a real distribution.
+//
+// compare judges head against base cell by cell and exits 1 iff a
+// statistically separated regression exists: the medians' confidence
+// intervals must not overlap AND the slowdown must clear -threshold
+// (so back-to-back runs of identical code stay green — the CI
+// perf-gate depends on this). A cell that verified in base but failed
+// in head also counts as a regression. Cells whose medians sit below
+// -min-time are never judged: they are inside timer resolution, where
+// the paper's own IS class-S numbers stopped being meaningful.
+//
+// scaling prints speedup, efficiency and the Karp–Flatt serial
+// fraction per (benchmark, class) thread curve, plus rule-based
+// anomaly flags joined from the obs counters in the record:
+// load-imbalance (§5.2 CG), barrier-sync (§5 LU pipeline) and
+// small-work (§5 IS).
+//
+// All subcommands take -json for machine-readable output. Exit codes:
+// 0 clean, 1 regression found (compare only), 2 usage or input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"npbgo/internal/perfstat"
+	"npbgo/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "stats":
+		return runStats(args[1:], stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	case "scaling":
+		return runScaling(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "npbperf: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage:
+  npbperf stats   [-json] record.json...
+  npbperf compare [-json] [-threshold rel] [-confidence c] [-min-time sec] base.json head.json
+  npbperf scaling [-json] [-imbalance r] [-barrier-share s] [-small-work sec] record.json...
+`)
+}
+
+// readRecords loads every bench record of every named file.
+func readRecords(paths []string, stderr io.Writer) ([]report.BenchRecord, bool) {
+	var out []report.BenchRecord
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "npbperf: %v\n", err)
+			return nil, false
+		}
+		recs, err := report.ReadBenchRecords(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "npbperf: %s: %v\n", path, err)
+			return nil, false
+		}
+		out = append(out, recs...)
+	}
+	return out, true
+}
+
+// writeJSON emits v as indented JSON.
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func runStats(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "machine-readable output")
+	conf := fs.Float64("confidence", 0.95, "bootstrap CI confidence")
+	if fs.Parse(args) != nil || fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	recs, ok := readRecords(fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
+	opt := perfstat.CIOptions{Confidence: *conf}
+	for _, rec := range recs {
+		cells := perfstat.Stats(rec, opt)
+		if *jsonOut {
+			writeJSON(stdout, struct {
+				Stamp string                 `json:"stamp"`
+				Cells []perfstat.CellSummary `json:"cells"`
+			}{rec.Stamp, cells})
+			continue
+		}
+		fmt.Fprint(stdout, perfstat.StatsTable(rec.Stamp, cells))
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "machine-readable output")
+	threshold := fs.Float64("threshold", 0.02, "relative slowdown a separated cell must exceed to flag")
+	conf := fs.Float64("confidence", 0.95, "bootstrap CI confidence")
+	minTime := fs.Float64("min-time", 0.001, "floor in seconds below which cells are not judged")
+	if fs.Parse(args) != nil || fs.NArg() != 2 {
+		usage(stderr)
+		return 2
+	}
+	recs, ok := readRecords(fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
+	if len(recs) != 2 {
+		fmt.Fprintf(stderr, "npbperf: compare wants exactly one record per file, got %d records\n", len(recs))
+		return 2
+	}
+	cmp := perfstat.Compare(recs[0], recs[1], perfstat.CompareOptions{
+		CIOptions:   perfstat.CIOptions{Confidence: *conf},
+		MinRelDelta: *threshold,
+		MinTime:     *minTime,
+	})
+	if *jsonOut {
+		writeJSON(stdout, cmp)
+	} else {
+		fmt.Fprint(stdout, cmp.Table())
+		fmt.Fprintf(stdout, "\n%d regression(s), %d improvement(s) across %d cell(s)\n",
+			cmp.Regressions, cmp.Improvements, len(cmp.Cells))
+	}
+	if cmp.Regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runScaling(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "machine-readable output")
+	imbalance := fs.Float64("imbalance", 1.5, "imbalance ratio at which load-imbalance flags")
+	barrierShare := fs.Float64("barrier-share", 0.2, "barrier-wait share at which barrier-sync flags")
+	smallWork := fs.Float64("small-work", 0.001, "median seconds below which small-work flags")
+	if fs.Parse(args) != nil || fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	recs, ok := readRecords(fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
+	opt := perfstat.ScalingOptions{
+		ImbalanceMin:    *imbalance,
+		BarrierShareMin: *barrierShare,
+		SmallWorkSec:    *smallWork,
+	}
+	for _, rec := range recs {
+		analysis := perfstat.Scaling(rec, opt)
+		if *jsonOut {
+			writeJSON(stdout, struct {
+				Stamp  string                  `json:"stamp"`
+				Groups []perfstat.BenchScaling `json:"groups"`
+			}{rec.Stamp, analysis})
+			continue
+		}
+		fmt.Fprintf(stdout, "record %s (GOMAXPROCS=%d, CPUs=%d)\n", rec.Stamp, rec.GoMaxProcs, rec.NumCPU)
+		fmt.Fprint(stdout, perfstat.ScalingTable(analysis))
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

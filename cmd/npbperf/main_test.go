@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npbgo/internal/report"
+)
+
+// golden is the shared bench-record fixture of the report package.
+const golden = "../../internal/report/testdata/bench_v1.json"
+
+// writeRecord writes one record into dir and returns its path.
+func writeRecord(t *testing.T, dir, name string, rec report.BenchRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteBenchJSON(f, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// cgRecord builds a single-cell record with the given CG.S t2 samples.
+func cgRecord(stamp string, samples []float64) report.BenchRecord {
+	best := samples[0]
+	for _, s := range samples {
+		if s < best {
+			best = s
+		}
+	}
+	return report.BenchRecord{
+		Schema: report.BenchSchema, Stamp: stamp, Class: "S", GoMaxProcs: 2, NumCPU: 2,
+		Cells: []report.CellMetrics{{Benchmark: "CG", Class: "S", Threads: 2,
+			Elapsed: best, Verified: true, Samples: samples}},
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"stats"},
+		{"compare", "only-one.json"},
+		{"compare", "a.json", "b.json", "c.json"},
+		{"scaling"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errBuf.String(), "usage") && !strings.Contains(errBuf.String(), "npbperf") {
+			t.Errorf("run(%v) stderr unhelpful: %q", args, errBuf.String())
+		}
+	}
+}
+
+func TestStatsGoldenRecord(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"stats", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"20260801T120000Z", "CG.S serial", "CG.S t4", "Median", "failed: npbgo: EP.S panic: injected"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"stats", "-json", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var doc struct {
+		Stamp string `json:"stamp"`
+		Cells []struct {
+			Benchmark string `json:"benchmark"`
+			Summary   struct {
+				N      int     `json:"n"`
+				Median float64 `json:"median"`
+			} `json:"summary"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stats -json not parseable: %v\n%s", err, out.String())
+	}
+	if doc.Stamp == "" || len(doc.Cells) != 8 || doc.Cells[0].Summary.N != 3 {
+		t.Fatalf("stats -json shape wrong: %+v", doc)
+	}
+}
+
+func TestCompareCleanExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	// Identical code, two runs: same distribution up to noise.
+	a := writeRecord(t, dir, "a.json", cgRecord("A", []float64{1.00, 1.02, 0.98}))
+	b := writeRecord(t, dir, "b.json", cgRecord("B", []float64{1.01, 0.99, 1.00}))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"compare", a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("clean compare exit %d:\n%s%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("summary line missing:\n%s", out.String())
+	}
+}
+
+func TestCompareRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRecord(t, dir, "a.json", cgRecord("A", []float64{1.00, 1.01, 0.99}))
+	b := writeRecord(t, dir, "b.json", cgRecord("B", []float64{1.50, 1.51, 1.49}))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"compare", a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("regression compare exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "1 regression(s)") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+	// The improvement direction must NOT fail the gate.
+	out.Reset()
+	if code := run([]string{"compare", b, a}, &out, &errBuf); code != 0 {
+		t.Fatalf("improvement compare exit %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 improvement(s)") {
+		t.Fatalf("improvement not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareJSONCarriesVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRecord(t, dir, "a.json", cgRecord("A", []float64{1.00, 1.01, 0.99}))
+	b := writeRecord(t, dir, "b.json", cgRecord("B", []float64{1.50, 1.51, 1.49}))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"compare", "-json", a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	var doc struct {
+		Regressions int `json:"regressions"`
+		Cells       []struct {
+			Regression bool    `json:"regression"`
+			RelDelta   float64 `json:"rel_delta"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("compare -json not parseable: %v", err)
+	}
+	if doc.Regressions != 1 || len(doc.Cells) != 1 || !doc.Cells[0].Regression {
+		t.Fatalf("compare -json shape wrong: %+v", doc)
+	}
+}
+
+func TestCompareRejectsUnknownSchema(t *testing.T) {
+	dir := t.TempDir()
+	rec := cgRecord("A", []float64{1.0})
+	rec.Schema = "npbgo/bench/v999"
+	bad := writeRecord(t, dir, "bad.json", rec)
+	good := writeRecord(t, dir, "good.json", cgRecord("B", []float64{1.0}))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"compare", bad, good}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown schema exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "npbgo/bench/v999") {
+		t.Fatalf("error should name the schema: %s", errBuf.String())
+	}
+}
+
+func TestScalingGoldenRecord(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"scaling", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	// The three paper-§5 anomaly classes must all fire on the fixture:
+	// CG t4 is imbalanced, LU t4 is barrier-bound, IS is sub-ms.
+	for _, want := range []string{"load-imbalance", "barrier-sync", "small-work", "e(KF)", "CG.S t4", "record 20260801T120000Z"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("scaling output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalingJSONAndThresholds(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"scaling", "-json", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var doc struct {
+		Groups []struct {
+			Benchmark string   `json:"benchmark"`
+			Anomalies []string `json:"anomalies"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("scaling -json not parseable: %v", err)
+	}
+	// CG, IS, LU; EP has only a failed cell and forms no group.
+	if len(doc.Groups) != 3 {
+		t.Fatalf("scaling -json groups: %+v", doc.Groups)
+	}
+	// Thresholds loose enough that nothing flags.
+	out.Reset()
+	if code := run([]string{"scaling", "-imbalance", "99", "-barrier-share", "0.99", "-small-work", "1e-9", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, flag := range []string{"load-imbalance", "barrier-sync", "small-work"} {
+		if strings.Contains(out.String(), flag) {
+			t.Fatalf("loose thresholds still flagged %s:\n%s", flag, out.String())
+		}
+	}
+}

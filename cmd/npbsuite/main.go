@@ -32,7 +32,10 @@
 // record (schema npbgo/bench/v1: per-cell Mop/s, time, threads,
 // imbalance under a stamped host header). Pointing it at a directory
 // auto-names the file BENCH_<stamp>.json, so repeated sweeps
-// accumulate a perf history.
+// accumulate a perf history. With -repeats N every repeat's elapsed
+// time is recorded in the cell's samples_sec — the distribution
+// `npbperf compare` builds its confidence intervals from — while the
+// headline stays the best time.
 package main
 
 import (
@@ -184,14 +187,7 @@ func writeBenchRecord(path string, class byte, sweeps []harness.Sweep) (string, 
 		}
 		path = filepath.Join(path, "BENCH_"+stamp+".json")
 	}
-	rec := report.BenchRecord{
-		Schema:     report.BenchSchema,
-		Stamp:      stamp,
-		Class:      string(class),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Cells:      harness.CellRecords(sweeps),
-	}
+	rec := harness.BenchRecordFrom(class, sweeps, stamp)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err

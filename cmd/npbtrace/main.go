@@ -17,41 +17,45 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"npbgo/internal/trace"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: npbtrace validate|summary file.trace.json...\n")
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	if len(os.Args) < 3 {
-		usage()
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 2 {
+		fmt.Fprintf(stderr, "usage: npbtrace validate|summary file.trace.json...\n")
+		return 2
 	}
-	mode := os.Args[1]
+	mode := args[0]
 	if mode != "validate" && mode != "summary" {
-		usage()
+		fmt.Fprintf(stderr, "usage: npbtrace validate|summary file.trace.json...\n")
+		return 2
 	}
-	for _, path := range os.Args[2:] {
+	for _, path := range args[1:] {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "npbtrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "npbtrace: %v\n", err)
+			return 1
 		}
 		info, err := trace.Validate(data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "npbtrace: %s: %v\n", path, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "npbtrace: %s: %v\n", path, err)
+			return 1
 		}
 		switch mode {
 		case "validate":
-			fmt.Printf("ok %s: %d events, %d tracks, %d barrier flows\n",
+			fmt.Fprintf(stdout, "ok %s: %d events, %d tracks, %d barrier flows\n",
 				path, info.Events, len(info.Tracks), info.FlowStarts)
 		case "summary":
-			fmt.Printf("%s:\n%s\n", path, info)
+			fmt.Fprintf(stdout, "%s:\n%s\n", path, info)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npbgo/internal/trace"
+)
+
+// writeTraceFile records a tiny two-worker timeline and exports it as
+// a Chrome/Perfetto file.
+func writeTraceFile(t *testing.T, dir, name string) string {
+	t.Helper()
+	tr := trace.New(2)
+	tr.RegionBegin(1)
+	tr.BlockBegin(0, 1)
+	tr.BlockEnd(0, 1)
+	tr.BlockBegin(1, 1)
+	tr.BlockEnd(1, 1)
+	tr.BarrierArrive(0, 1)
+	tr.BarrierArrive(1, 1)
+	tr.BarrierRelease(0, 1)
+	tr.BarrierRelease(1, 1)
+	tr.RegionEnd(1)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Snapshot().WriteChrome(f, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{nil, {"validate"}, {"frobnicate", "x.json"}} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errBuf.String(), "usage") {
+			t.Errorf("run(%v) stderr: %q", args, errBuf.String())
+		}
+	}
+}
+
+func TestValidateGoodTrace(t *testing.T) {
+	path := writeTraceFile(t, t.TempDir(), "good.trace.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"validate", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "ok ") || !strings.Contains(s, "events") || !strings.Contains(s, "barrier flows") {
+		t.Fatalf("validate line malformed: %q", s)
+	}
+}
+
+func TestSummaryPrintsTracks(t *testing.T) {
+	path := writeTraceFile(t, t.TempDir(), "good.trace.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"summary", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, path+":") {
+		t.Fatalf("summary missing file header:\n%s", s)
+	}
+	// Per-track rows: the two workers plus the master track.
+	for _, want := range []string{"worker 0", "worker 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMalformedTraceExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trace.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents": [{"ph":"B","name":"x","pid":1,"tid":1,"ts":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"validate", bad}, &out, &errBuf); code != 1 {
+		t.Fatalf("malformed trace exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), bad) {
+		t.Fatalf("error does not name the file: %s", errBuf.String())
+	}
+	if code := run([]string{"validate", filepath.Join(dir, "missing.json")}, &out, &errBuf); code != 1 {
+		t.Fatal("missing file should exit 1")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -38,11 +39,17 @@ type Run struct {
 	Mops     float64
 	Verified bool
 	Tier     string
-	Attempts int             // benchmark executions this cell consumed (retries and repeats included)
-	Err      error           // non-nil marks a failed cell (after all retries)
-	Obs      *obs.Stats      // runtime metrics of the kept repeat, nil unless Options.Obs
-	Phases   []timer.Phase   // phase profile of the kept repeat, nil unless the benchmark exposes timers
-	Trace    *trace.Snapshot // event timeline of the kept repeat, nil unless Options.TraceDir
+	Attempts int // benchmark executions this cell consumed (retries and repeats included)
+	// Samples holds every successful repeat's elapsed time in run
+	// order. Elapsed stays the best (minimum) sample — the headline the
+	// tables print — but comparisons across records need the full
+	// distribution: best-of-N discards exactly the noise a confidence
+	// interval is built from (Hoefler & Belli's first rule).
+	Samples []time.Duration
+	Err     error           // non-nil marks a failed cell (after all retries)
+	Obs     *obs.Stats      // runtime metrics of the kept repeat, nil unless Options.Obs
+	Phases  []timer.Phase   // phase profile of the kept repeat, nil unless the benchmark exposes timers
+	Trace   *trace.Snapshot // event timeline of the kept repeat, nil unless Options.TraceDir
 }
 
 // Sweep is the measured row set of one benchmark/class.
@@ -136,6 +143,7 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n,
 		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != ""}
 	var best *Run
+	var samples []time.Duration
 	attempts := 0
 	for rep := 0; rep < repeats; rep++ {
 		res, used, err := runAttempts(cfg, opt)
@@ -143,10 +151,12 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 		if err != nil {
 			// A cancelled/failed run still carries its partial obs
 			// snapshot (cancellation counts, busy time up to the stop),
-			// which is exactly what a post-mortem wants to see.
-			return Run{Threads: threads, Attempts: attempts, Err: err,
-				Obs: res.Obs, Phases: res.Phases, Trace: res.Trace}
+			// which is exactly what a post-mortem wants to see — plus
+			// the samples of the repeats that did complete.
+			return Run{Threads: threads, Attempts: attempts, Samples: samples,
+				Err: err, Obs: res.Obs, Phases: res.Phases, Trace: res.Trace}
 		}
+		samples = append(samples, res.Elapsed)
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
 			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases,
 			Trace: res.Trace}
@@ -156,6 +166,7 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 		}
 	}
 	best.Attempts = attempts
+	best.Samples = samples
 	return *best
 }
 
@@ -336,6 +347,22 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 	return tb.String()
 }
 
+// BenchRecordFrom assembles the machine-readable performance record of
+// a sweep set under the current schema and host header. It is the one
+// producer of report.BenchRecord, so the schema stamp, the host
+// dimensions and the cell layout (including per-repeat samples) cannot
+// drift between writers.
+func BenchRecordFrom(class byte, sweeps []Sweep, stamp string) report.BenchRecord {
+	return report.BenchRecord{
+		Schema:     report.BenchSchema,
+		Stamp:      stamp,
+		Class:      string(class),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Cells:      CellRecords(sweeps),
+	}
+}
+
 // CellRecords flattens every measured cell of a sweep set into its
 // structured metrics record, in sweep order — the cell list of a
 // report.BenchRecord.
@@ -361,6 +388,12 @@ func cellMetrics(bench npbgo.Benchmark, class byte, r Run) report.CellMetrics {
 		Verified:  r.Verified,
 		Attempts:  r.Attempts,
 		TopPhases: topPhases(r.Phases, 5),
+	}
+	if len(r.Samples) > 0 {
+		m.Samples = make([]float64, len(r.Samples))
+		for i, s := range r.Samples {
+			m.Samples[i] = s.Seconds()
+		}
 	}
 	if r.Err != nil {
 		m.Error = r.Err.Error()

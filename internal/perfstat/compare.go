@@ -1,0 +1,263 @@
+// Noise-aware comparison of two bench records, cell by cell. A cell is
+// only called a regression when the medians' confidence intervals
+// separate AND the relative slowdown clears a threshold — CI overlap
+// absorbs run-to-run scheduling noise, the threshold absorbs
+// differences too small to act on. Cells below a minimum-time floor
+// are never judged: a sub-millisecond run is inside timer resolution
+// and OS jitter, where the paper's own IS numbers stopped being
+// meaningful.
+package perfstat
+
+import (
+	"fmt"
+
+	"npbgo/internal/report"
+)
+
+// CompareOptions tunes the regression decision.
+type CompareOptions struct {
+	CIOptions
+	// MinRelDelta is the relative median change below which a
+	// separated difference is still ignored; default 0.02 (2%).
+	MinRelDelta float64
+	// MinTime (seconds) is the floor below which cells are not judged
+	// at all; default 0 (judge everything).
+	MinTime float64
+}
+
+// withDefaults fills unset comparison options.
+func (o CompareOptions) withDefaults() CompareOptions {
+	o.CIOptions = o.CIOptions.withDefaults()
+	if o.MinRelDelta <= 0 {
+		o.MinRelDelta = 0.02
+	}
+	return o
+}
+
+// CellDelta is the judged difference of one (benchmark, class,
+// threads) cell between a base and a head record.
+type CellDelta struct {
+	Benchmark string  `json:"benchmark"`
+	Class     string  `json:"class"`
+	Threads   int     `json:"threads"`
+	Base      Summary `json:"base"`
+	Head      Summary `json:"head"`
+	// RelDelta is (head median - base median) / base median; positive
+	// means head is slower.
+	RelDelta float64 `json:"rel_delta"`
+	// Separated reports that the two confidence intervals do not
+	// overlap — the difference exceeds measured noise.
+	Separated   bool `json:"separated"`
+	Regression  bool `json:"regression"`
+	Improvement bool `json:"improvement"`
+	// Note explains a cell that was not judged: present in only one
+	// record, failed in either, or below the minimum-time floor.
+	Note string `json:"note,omitempty"`
+}
+
+// Comparison is the full cell-by-cell judgment of head against base.
+type Comparison struct {
+	BaseStamp    string      `json:"base_stamp"`
+	HeadStamp    string      `json:"head_stamp"`
+	Cells        []CellDelta `json:"cells"`
+	Regressions  int         `json:"regressions"`
+	Improvements int         `json:"improvements"`
+}
+
+// cellKey identifies a sweep cell across records.
+type cellKey struct {
+	bench, class string
+	threads      int
+}
+
+// samplesOf returns the distribution a cell is judged on: the retained
+// repeat samples, or the headline elapsed as a single point for
+// records written before repeats were kept.
+func samplesOf(c report.CellMetrics) []float64 {
+	if len(c.Samples) > 0 {
+		return c.Samples
+	}
+	if c.Elapsed > 0 {
+		return []float64{c.Elapsed}
+	}
+	return nil
+}
+
+// Compare judges every cell of head against the matching cell of base.
+// Cells are matched by (benchmark, class, threads); base-only and
+// head-only cells are reported with a Note and never counted as
+// regressions — a removed benchmark is a review question, not a perf
+// fact.
+func Compare(base, head report.BenchRecord, opt CompareOptions) Comparison {
+	opt = opt.withDefaults()
+	cmp := Comparison{BaseStamp: base.Stamp, HeadStamp: head.Stamp}
+	headIdx := make(map[cellKey]report.CellMetrics, len(head.Cells))
+	headSeen := make(map[cellKey]bool, len(head.Cells))
+	for _, c := range head.Cells {
+		headIdx[cellKey{c.Benchmark, c.Class, c.Threads}] = c
+	}
+	for _, b := range base.Cells {
+		key := cellKey{b.Benchmark, b.Class, b.Threads}
+		d := CellDelta{Benchmark: b.Benchmark, Class: b.Class, Threads: b.Threads}
+		h, ok := headIdx[key]
+		if !ok {
+			d.Note = "cell only in base record"
+			cmp.Cells = append(cmp.Cells, d)
+			continue
+		}
+		headSeen[key] = true
+		cmp.Cells = append(cmp.Cells, judge(d, b, h, opt))
+	}
+	for _, h := range head.Cells {
+		if headSeen[cellKey{h.Benchmark, h.Class, h.Threads}] {
+			continue
+		}
+		cmp.Cells = append(cmp.Cells, CellDelta{Benchmark: h.Benchmark,
+			Class: h.Class, Threads: h.Threads, Note: "cell only in head record"})
+	}
+	for _, d := range cmp.Cells {
+		if d.Regression {
+			cmp.Regressions++
+		}
+		if d.Improvement {
+			cmp.Improvements++
+		}
+	}
+	return cmp
+}
+
+// judge fills one matched cell's delta fields.
+func judge(d CellDelta, b, h report.CellMetrics, opt CompareOptions) CellDelta {
+	switch {
+	case b.Error != "" && h.Error != "":
+		d.Note = "failed in both records"
+		return d
+	case b.Error != "":
+		d.Note = "failed in base record"
+		return d
+	case h.Error != "":
+		// A cell that worked and now fails is worse than a slowdown.
+		d.Note = "failed in head record"
+		d.Regression = true
+		return d
+	}
+	bs, hs := samplesOf(b), samplesOf(h)
+	if len(bs) == 0 || len(hs) == 0 {
+		d.Note = "no samples"
+		return d
+	}
+	d.Base = Summarize(bs, opt.CIOptions)
+	d.Head = Summarize(hs, opt.CIOptions)
+	if d.Base.Median > 0 {
+		d.RelDelta = (d.Head.Median - d.Base.Median) / d.Base.Median
+	}
+	if opt.MinTime > 0 && d.Base.Median < opt.MinTime && d.Head.Median < opt.MinTime {
+		d.Note = fmt.Sprintf("below %.3gs floor, not judged", opt.MinTime)
+		return d
+	}
+	slower := d.Head.CILo > d.Base.CIHi
+	faster := d.Head.CIHi < d.Base.CILo
+	d.Separated = slower || faster
+	d.Regression = slower && d.RelDelta >= opt.MinRelDelta
+	d.Improvement = faster && -d.RelDelta >= opt.MinRelDelta
+	return d
+}
+
+// CellSummary pairs one cell with its distribution summary — the row
+// type of the `npbperf stats` report.
+type CellSummary struct {
+	Benchmark string  `json:"benchmark"`
+	Class     string  `json:"class"`
+	Threads   int     `json:"threads"`
+	Summary   Summary `json:"summary"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// Stats summarizes every cell of a record.
+func Stats(rec report.BenchRecord, opt CIOptions) []CellSummary {
+	opt = opt.withDefaults()
+	out := make([]CellSummary, 0, len(rec.Cells))
+	for _, c := range rec.Cells {
+		cs := CellSummary{Benchmark: c.Benchmark, Class: c.Class, Threads: c.Threads}
+		if c.Error != "" {
+			cs.Note = "failed: " + c.Error
+		} else if s := samplesOf(c); len(s) > 0 {
+			cs.Summary = Summarize(s, opt)
+		} else {
+			cs.Note = "no samples"
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// StatsTable renders per-cell distribution summaries as an aligned
+// text table.
+func StatsTable(stamp string, cells []CellSummary) string {
+	tb := report.New(
+		fmt.Sprintf("Distribution per cell, record %s (bootstrap CI of the median)", stamp),
+		"Cell", "N", "Min", "Median", "CI", "IQR", "Max")
+	for _, cs := range cells {
+		cell := deltaCell(CellDelta{Benchmark: cs.Benchmark, Class: cs.Class, Threads: cs.Threads})
+		if cs.Note != "" {
+			tb.AddRow(cell, "-", "-", "-", cs.Note, "-", "-")
+			continue
+		}
+		s := cs.Summary
+		tb.AddRow(cell, fmt.Sprintf("%d", s.N), report.Seconds(s.Min),
+			report.Seconds(s.Median), ciText(s), report.Seconds(s.IQR), report.Seconds(s.Max))
+	}
+	return tb.String()
+}
+
+// Table renders the comparison as an aligned text table: one row per
+// cell with both medians, their confidence intervals, the relative
+// delta and the verdict.
+func (c Comparison) Table() string {
+	tb := report.New(
+		fmt.Sprintf("Compare %s -> %s (regression = CIs separate and slowdown >= threshold)", c.BaseStamp, c.HeadStamp),
+		"Cell", "Base med", "Base CI", "Head med", "Head CI", "Delta", "Verdict")
+	for _, d := range c.Cells {
+		if d.Note != "" {
+			tb.AddRow(deltaCell(d), "-", "-", "-", "-", "-", verdict(d))
+			continue
+		}
+		tb.AddRow(deltaCell(d),
+			report.Seconds(d.Base.Median),
+			ciText(d.Base),
+			report.Seconds(d.Head.Median),
+			ciText(d.Head),
+			fmt.Sprintf("%+.1f%%", 100*d.RelDelta),
+			verdict(d))
+	}
+	return tb.String()
+}
+
+// deltaCell renders the cell tag of one delta row.
+func deltaCell(d CellDelta) string {
+	if d.Threads == 0 {
+		return fmt.Sprintf("%s.%s serial", d.Benchmark, d.Class)
+	}
+	return fmt.Sprintf("%s.%s t%d", d.Benchmark, d.Class, d.Threads)
+}
+
+// ciText renders a summary's confidence interval.
+func ciText(s Summary) string {
+	return "[" + report.Seconds(s.CILo) + "," + report.Seconds(s.CIHi) + "]"
+}
+
+// verdict renders one delta's judgment column.
+func verdict(d CellDelta) string {
+	switch {
+	case d.Note != "":
+		return d.Note
+	case d.Regression:
+		return "REGRESSION"
+	case d.Improvement:
+		return "improvement"
+	case d.Separated:
+		return "separated(<thresh)"
+	default:
+		return "ok"
+	}
+}

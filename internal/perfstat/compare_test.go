@@ -1,0 +1,160 @@
+package perfstat
+
+import (
+	"strings"
+	"testing"
+
+	"npbgo/internal/report"
+)
+
+// record builds a one-cell bench record from CG.S t2 samples.
+func record(stamp string, samples ...float64) report.BenchRecord {
+	best := samples[0]
+	for _, s := range samples {
+		if s < best {
+			best = s
+		}
+	}
+	return report.BenchRecord{
+		Schema: report.BenchSchema,
+		Stamp:  stamp,
+		Class:  "S",
+		Cells: []report.CellMetrics{{
+			Benchmark: "CG", Class: "S", Threads: 2,
+			Elapsed: best, Verified: true, Samples: samples,
+		}},
+	}
+}
+
+func TestCompareCleanOnNoise(t *testing.T) {
+	// Same distribution, shuffled — back-to-back runs of identical
+	// code must not flag.
+	base := record("A", 1.00, 1.02, 0.98, 1.01, 0.99)
+	head := record("B", 1.01, 0.99, 1.00, 0.98, 1.02)
+	cmp := Compare(base, head, CompareOptions{})
+	if cmp.Regressions != 0 || cmp.Improvements != 0 {
+		t.Fatalf("noise flagged: %+v", cmp.Cells)
+	}
+	if len(cmp.Cells) != 1 || cmp.Cells[0].Regression {
+		t.Fatalf("unexpected cells: %+v", cmp.Cells)
+	}
+}
+
+func TestCompareFlagsRealRegression(t *testing.T) {
+	base := record("A", 1.00, 1.01, 0.99, 1.00, 1.02)
+	head := record("B", 1.50, 1.51, 1.49, 1.52, 1.50)
+	cmp := Compare(base, head, CompareOptions{})
+	if cmp.Regressions != 1 {
+		t.Fatalf("50%% slowdown with tight CIs not flagged: %+v", cmp.Cells)
+	}
+	d := cmp.Cells[0]
+	if !d.Separated || !d.Regression || d.RelDelta < 0.4 {
+		t.Fatalf("delta fields wrong: %+v", d)
+	}
+}
+
+func TestCompareFlagsImprovement(t *testing.T) {
+	base := record("A", 1.50, 1.51, 1.49)
+	head := record("B", 1.00, 1.01, 0.99)
+	cmp := Compare(base, head, CompareOptions{})
+	if cmp.Improvements != 1 || cmp.Regressions != 0 {
+		t.Fatalf("speedup not classed as improvement: %+v", cmp.Cells)
+	}
+}
+
+func TestCompareThresholdAbsorbsTinySeparation(t *testing.T) {
+	// Perfectly separated but only ~0.5% apart: below the 2% default
+	// threshold, so no regression.
+	base := record("A", 1.000, 1.000, 1.000)
+	head := record("B", 1.005, 1.005, 1.005)
+	cmp := Compare(base, head, CompareOptions{})
+	d := cmp.Cells[0]
+	if !d.Separated {
+		t.Fatalf("identical-sample records should separate: %+v", d)
+	}
+	if d.Regression || cmp.Regressions != 0 {
+		t.Fatalf("sub-threshold separation flagged: %+v", d)
+	}
+	// A tighter threshold flips the verdict.
+	cmp = Compare(base, head, CompareOptions{MinRelDelta: 0.001})
+	if cmp.Regressions != 1 {
+		t.Fatalf("explicit threshold ignored: %+v", cmp.Cells)
+	}
+}
+
+func TestCompareMinTimeFloor(t *testing.T) {
+	base := record("A", 0.0004, 0.0005, 0.0006)
+	head := record("B", 0.0008, 0.0009, 0.0010)
+	cmp := Compare(base, head, CompareOptions{MinTime: 0.001})
+	d := cmp.Cells[0]
+	if d.Regression || !strings.Contains(d.Note, "floor") {
+		t.Fatalf("sub-floor cell judged: %+v", d)
+	}
+}
+
+func TestCompareMismatchedAndFailedCells(t *testing.T) {
+	base := record("A", 1.0, 1.0)
+	base.Cells = append(base.Cells, report.CellMetrics{
+		Benchmark: "EP", Class: "S", Threads: 2, Samples: []float64{2.0}})
+	head := record("B", 1.0, 1.0)
+	head.Cells[0].Error = "panic: injected"
+	head.Cells = append(head.Cells, report.CellMetrics{
+		Benchmark: "MG", Class: "S", Threads: 4, Samples: []float64{0.5}})
+	cmp := Compare(base, head, CompareOptions{})
+	byNote := make(map[string]int)
+	for _, d := range cmp.Cells {
+		byNote[d.Note]++
+	}
+	if byNote["cell only in base record"] != 1 || byNote["cell only in head record"] != 1 {
+		t.Fatalf("mismatched cells not noted: %+v", cmp.Cells)
+	}
+	// CG worked in base, fails in head: that IS a regression.
+	if byNote["failed in head record"] != 1 || cmp.Regressions != 1 {
+		t.Fatalf("newly failing cell must count as regression: %+v", cmp.Cells)
+	}
+}
+
+func TestCompareSingleSampleFallback(t *testing.T) {
+	// Records written before repeats were retained carry no samples;
+	// the headline elapsed is judged with the threshold alone.
+	base := record("A", 1.0)
+	base.Cells[0].Samples = nil
+	base.Cells[0].Elapsed = 1.0
+	head := record("B", 1.3)
+	head.Cells[0].Samples = nil
+	head.Cells[0].Elapsed = 1.3
+	cmp := Compare(base, head, CompareOptions{})
+	if cmp.Regressions != 1 {
+		t.Fatalf("30%% single-sample slowdown not flagged: %+v", cmp.Cells)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	base := record("A", 1.0, 1.01, 0.99)
+	head := record("B", 1.5, 1.51, 1.49)
+	out := Compare(base, head, CompareOptions{}).Table()
+	for _, want := range []string{"CG.S t2", "REGRESSION", "+50.0%", "Base CI"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	rec := record("A", 1.0, 1.2, 0.9)
+	rec.Cells = append(rec.Cells, report.CellMetrics{
+		Benchmark: "EP", Class: "S", Threads: 4, Error: "timeout"})
+	cells := Stats(rec, CIOptions{})
+	if len(cells) != 2 || cells[0].Summary.N != 3 {
+		t.Fatalf("stats cells wrong: %+v", cells)
+	}
+	if !strings.HasPrefix(cells[1].Note, "failed") {
+		t.Fatalf("failed cell not noted: %+v", cells[1])
+	}
+	out := StatsTable("A", cells)
+	for _, want := range []string{"CG.S t2", "EP.S t4", "failed: timeout", "Median"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package perfstat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4, 5}, CIOptions{})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("order stats wrong: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 || s.IQR != 2 {
+		t.Fatalf("quartiles wrong: %+v", s)
+	}
+	if s.CILo > s.Median || s.CIHi < s.Median {
+		t.Fatalf("CI [%v,%v] does not cover the median %v", s.CILo, s.CIHi, s.Median)
+	}
+	if s.CILo < s.Min || s.CIHi > s.Max {
+		t.Fatalf("bootstrap CI escaped the sample range: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil, CIOptions{}); s.N != 0 || s.Median != 0 {
+		t.Fatalf("empty sample set: %+v", s)
+	}
+	s := Summarize([]float64{0.42}, CIOptions{})
+	if s.N != 1 || s.Median != 0.42 || s.CILo != 0.42 || s.CIHi != 0.42 {
+		t.Fatalf("single sample should collapse the CI: %+v", s)
+	}
+}
+
+func TestSummarizeDeterministic(t *testing.T) {
+	samples := []float64{1.0, 1.1, 0.9, 1.05, 0.95, 1.2, 0.85}
+	a := Summarize(samples, CIOptions{})
+	b := Summarize(samples, CIOptions{})
+	if a != b {
+		t.Fatalf("same input, different summaries: %+v vs %+v", a, b)
+	}
+	c := Summarize(samples, CIOptions{Seed: 99})
+	if c.Median != a.Median {
+		t.Fatalf("seed must not move order statistics: %v vs %v", c.Median, a.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	Summarize(samples, CIOptions{})
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatalf("input mutated: %v", samples)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if q := quantile(sorted, 0.5); q != 2.5 {
+		t.Fatalf("median of 1..4 = %v", q)
+	}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := quantile(sorted, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestBootstrapCITightensWithLowNoise(t *testing.T) {
+	tight := Summarize([]float64{1.0, 1.001, 0.999, 1.0, 1.0005, 0.9995}, CIOptions{})
+	wide := Summarize([]float64{1.0, 1.5, 0.6, 1.3, 0.8, 1.1}, CIOptions{})
+	if tw, ww := tight.CIHi-tight.CILo, wide.CIHi-wide.CILo; tw >= ww {
+		t.Fatalf("low-noise CI (%v) should be tighter than high-noise CI (%v)", tw, ww)
+	}
+	if math.IsNaN(tight.CILo) || math.IsNaN(wide.CIHi) {
+		t.Fatal("NaN in CI")
+	}
+}

@@ -9,6 +9,8 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 )
 
@@ -29,6 +31,13 @@ type CellMetrics struct {
 	Verified  bool    `json:"verified"`
 	Attempts  int     `json:"attempts,omitempty"`
 	Error     string  `json:"error,omitempty"`
+
+	// Samples holds every repeat's elapsed time in seconds, in run
+	// order. Elapsed stays the best (minimum) repeat for back-compat;
+	// the full distribution is what noise-aware comparison (perfstat)
+	// needs — a single best-of-N number cannot carry a confidence
+	// interval. Empty on records written before repeats were retained.
+	Samples []float64 `json:"samples_sec,omitempty"`
 
 	// Obs-layer runtime counters; zero-valued when obs was disabled.
 	Regions       uint64    `json:"regions,omitempty"`
@@ -83,4 +92,36 @@ func WriteJSONL(w io.Writer, v any) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// ReadBenchRecords decodes every BenchRecord in r, accepting both the
+// indented one-record-per-file layout of WriteBenchJSON and streams of
+// concatenated/JSONL records (so `cat results/BENCH_*.json` pipes
+// straight in). Each record's schema is dispatched against BenchSchema;
+// an unknown schema is a hard error naming both the found and the
+// supported version, so stale tooling fails loudly instead of
+// misreading a future layout. An input with no records is an error —
+// every caller wants at least one.
+func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []BenchRecord
+	for {
+		var rec BenchRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("report: bench record %d: %w", len(out)+1, err)
+		}
+		switch rec.Schema {
+		case BenchSchema:
+			out = append(out, rec)
+		default:
+			return nil, fmt.Errorf("report: bench record %d: unknown schema %q (this tool reads %q)",
+				len(out)+1, rec.Schema, BenchSchema)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("report: no bench records in input")
+	}
+	return out, nil
 }

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,126 @@ func TestWriteJSONLRoundTrip(t *testing.T) {
 	}
 	if len(back.TopPhases) != 1 || back.TopPhases[0].Laps != 15 {
 		t.Fatalf("phases lost: %+v", back.TopPhases)
+	}
+}
+
+// benchFixture is a two-cell record used by the writer/reader tests.
+func benchFixture() BenchRecord {
+	return BenchRecord{
+		Schema:     BenchSchema,
+		Stamp:      "20260801T120000Z",
+		Class:      "S",
+		GoMaxProcs: 4,
+		NumCPU:     8,
+		Cells: []CellMetrics{
+			{Benchmark: "CG", Class: "S", Threads: 0, Elapsed: 0.40, Mops: 160,
+				Verified: true, Attempts: 3, Samples: []float64{0.42, 0.40, 0.41}},
+			{Benchmark: "CG", Class: "S", Threads: 2, Elapsed: 0.24, Mops: 270,
+				Verified: true, Attempts: 3, Samples: []float64{0.24, 0.25, 0.26},
+				Imbalance: 1.02, BarrierWait: 0.03},
+		},
+	}
+}
+
+func TestReadBenchRecordsRoundTripBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	want := benchFixture()
+	if err := WriteBenchJSON(&buf, want); err != nil {
+		t.Fatalf("WriteBenchJSON: %v", err)
+	}
+	recs, err := ReadBenchRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadBenchRecords: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	got := recs[0]
+	if got.Stamp != want.Stamp || got.GoMaxProcs != 4 || len(got.Cells) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !strings.Contains(got.Schema, "npbgo/bench") {
+		t.Fatalf("schema lost: %q", got.Schema)
+	}
+	if s := got.Cells[0].Samples; len(s) != 3 || s[0] != 0.42 {
+		t.Fatalf("samples lost: %+v", s)
+	}
+}
+
+func TestReadBenchRecordsConcatenatedStream(t *testing.T) {
+	// Two records in one stream — indented then JSONL — as produced by
+	// `cat results/BENCH_*.json`.
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, benchFixture()); err != nil {
+		t.Fatal(err)
+	}
+	second := benchFixture()
+	second.Stamp = "20260802T000000Z"
+	if err := WriteJSONL(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadBenchRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadBenchRecords: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Stamp != "20260802T000000Z" {
+		t.Fatalf("stream decode mismatch: %d records", len(recs))
+	}
+}
+
+func TestReadBenchRecordsRejectsUnknownSchema(t *testing.T) {
+	rec := benchFixture()
+	rec.Schema = "npbgo/bench/v999"
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBenchRecords(&buf)
+	if err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if !strings.Contains(err.Error(), "npbgo/bench/v999") || !strings.Contains(err.Error(), BenchSchema) {
+		t.Fatalf("error should name found and supported schemas: %v", err)
+	}
+}
+
+func TestReadBenchRecordsEmptyInput(t *testing.T) {
+	if _, err := ReadBenchRecords(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadBenchRecords(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestReadBenchRecordsGoldenFixture(t *testing.T) {
+	f, err := os.Open("testdata/bench_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadBenchRecords(f)
+	if err != nil {
+		t.Fatalf("golden fixture must stay readable (schema %s): %v", BenchSchema, err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Class != "S" || len(rec.Cells) != 8 {
+		t.Fatalf("fixture shape changed: class=%q cells=%d", rec.Class, len(rec.Cells))
+	}
+	var sampled, failed int
+	for _, c := range rec.Cells {
+		if len(c.Samples) > 0 {
+			sampled++
+		}
+		if c.Error != "" {
+			failed++
+		}
+	}
+	if sampled != 7 || failed != 1 {
+		t.Fatalf("fixture cells: %d sampled, %d failed", sampled, failed)
 	}
 }
 
