@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint bench bench-json perf suite suite-obs suite-trace tables clean
+.PHONY: build test test-race race vet lint bench bench-json perf suite suite-obs suite-trace soak tables clean
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ FORCE:
 # a dedicated -race pass even under -short.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/team ./internal/harness ./internal/fault ./internal/timer ./internal/obs
+	$(GO) test -race ./internal/team ./internal/harness ./internal/fault ./internal/timer ./internal/obs ./internal/journal ./internal/chaos
 
 test-race: race
 
@@ -82,6 +82,17 @@ perf:
 	$(GO) run ./cmd/npbperf compare -threshold $(PERF_THRESHOLD) -min-time $(PERF_MINTIME) perf-base.json perf-head.json
 	$(GO) run ./cmd/npbperf scaling perf-head.json
 
+# Seeded chaos soak: randomized fault/cancel/timeout schedules against
+# class-S cells with recovery invariants asserted after each one, then
+# the journal validated. Deterministic per seed — a red soak reproduces
+# with the same SOAK_SEED. The CI soak job runs exactly this and keeps
+# the journal as an artifact.
+SOAK_SEED ?= 1
+SOAK_CELLS ?= 10
+soak:
+	$(GO) run ./cmd/npbsuite -chaos -chaos-seed $(SOAK_SEED) -chaos-cells $(SOAK_CELLS) -class S -bench CG,EP -threads 1,2 -journal soak-journal.jsonl
+	$(GO) run ./cmd/npbsuite -check-journal soak-journal.jsonl
+
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)
 	$(GO) run ./cmd/jgflu -classes A,B,C
@@ -90,4 +101,4 @@ tables:
 clean:
 	$(GO) clean ./...
 	rm -rf bin
-	rm -f perf-base.json perf-head.json
+	rm -f perf-base.json perf-head.json soak-journal.jsonl

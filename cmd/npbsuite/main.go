@@ -36,21 +36,50 @@
 // time is recorded in the cell's samples_sec — the distribution
 // `npbperf compare` builds its confidence intervals from — while the
 // headline stays the best time.
+//
+// Crash safety (see DESIGN.md §12):
+//
+// -journal <path> writes a durable write-ahead journal of the sweep
+// (schema npbgo/journal/v1, one fsync'd JSON line per event). If the
+// process dies mid-sweep — OOM kill, power loss, ^C — the journal
+// holds every completed cell's metrics. -resume <path> picks the sweep
+// back up: the plan (class, threads, benchmarks) is read from the
+// journal, completed cells are replayed from their recorded metrics
+// without re-executing, and only pending or interrupted cells run.
+//
+// -isolate runs every cell in a child process (`npbsuite -run-cell`,
+// an internal mode) under a parent-side watchdog: a cell that blows
+// its -timeout or, with -mem-limit, its resident-set budget is
+// hard-killed and recorded as FAIL(timeout-killed | oom-killed) while
+// the sweep continues. -mem-guard consults each cell's estimated
+// footprint against available memory first and records
+// SKIP(memory: ...) for cells that cannot fit.
+//
+// -chaos runs a seeded chaos soak campaign instead of a sweep:
+// -chaos-cells randomized cells drawn from -chaos-seed, each under a
+// random fault/cancel/timeout schedule, with recovery invariants
+// asserted after every cell. -check-journal <path> validates a journal
+// and prints its state summary (the CI soak job's final gate).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"npbgo"
+	"npbgo/internal/chaos"
 	"npbgo/internal/fault"
 	"npbgo/internal/harness"
+	"npbgo/internal/journal"
 	"npbgo/internal/obs"
 	"npbgo/internal/report"
 )
@@ -69,13 +98,33 @@ func main() {
 	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace file per cell into this directory (enables execution tracing)")
 	benchJSON := flag.String("bench-json", "", "write the sweep's performance record as JSON to this path (a directory auto-names BENCH_<stamp>.json)")
 	listFaults := flag.Bool("list-faults", false, "print the registered fault injection site keys and exit")
+	journalPath := flag.String("journal", "", "write a durable sweep journal (fsync'd JSONL) to this path")
+	resumePath := flag.String("resume", "", "resume an interrupted journaled sweep: replay completed cells, run the rest (plan read from the journal)")
+	isolate := flag.Bool("isolate", false, "run every cell in a watchdogged child process; runaway or OOM-ing cells are killed and recorded as FAIL")
+	memLimit := flag.String("mem-limit", "", "with -isolate: kill a cell whose resident set exceeds this size, e.g. 2GiB")
+	memGuard := flag.Bool("mem-guard", false, "skip cells whose estimated memory footprint cannot fit in available memory")
+	chaosFlag := flag.Bool("chaos", false, "run a seeded chaos soak campaign instead of a sweep (see -chaos-seed, -chaos-cells)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos: campaign seed (same seed = same schedule = same failures)")
+	chaosCells := flag.Int("chaos-cells", 8, "with -chaos: number of chaos cells to run")
+	checkJournal := flag.String("check-journal", "", "validate a sweep journal, print its state summary, and exit")
+	runCellMode := flag.Bool("run-cell", false, "internal: execute one cell from the JSON spec argument and print its result (used by -isolate)")
 	flag.Parse()
 
+	if *runCellMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "npbsuite: -run-cell needs exactly one cell-spec argument")
+			os.Exit(2)
+		}
+		os.Exit(harness.RunCellMain(flag.Arg(0), os.Stdout))
+	}
 	if *listFaults {
 		for _, site := range fault.Sites() {
 			fmt.Println(site)
 		}
 		return
+	}
+	if *checkJournal != "" {
+		os.Exit(checkJournalMain(*checkJournal))
 	}
 
 	var threads []int
@@ -96,8 +145,37 @@ func main() {
 	}
 	cl := strings.ToUpper(*class)[0]
 
-	fmt.Printf("NPB-Go suite sweep: class %c, GOMAXPROCS=%d, host CPUs=%d\n\n",
-		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	// ^C / SIGTERM cancels the sweep cooperatively: the current cell
+	// stops (hard-killed under -isolate), retries and backoffs are
+	// abandoned, and a journaled sweep stays resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *chaosFlag {
+		camp := &chaos.Campaign{
+			Seed:    *chaosSeed,
+			Cells:   *chaosCells,
+			Class:   cl,
+			Threads: threads,
+			Journal: *journalPath,
+			Out:     os.Stdout,
+		}
+		if *benchFlag != "" {
+			camp.Benchmarks = benches
+		}
+		if *timeout > 0 {
+			camp.WallLimit = *timeout
+		}
+		rep, err := camp.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := harness.Options{
 		Warmup:   *warmup,
@@ -107,7 +185,86 @@ func main() {
 		Backoff:  500 * time.Millisecond,
 		Obs:      *obsFlag,
 		TraceDir: *traceDir,
+		Context:  ctx,
 	}
+	stamp := time.Now().UTC().Format("20060102T150405Z")
+	switch {
+	case *resumePath != "":
+		w, lg, err := journal.AppendTo(*resumePath, stamp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: resume: %v\n", err)
+			os.Exit(2)
+		}
+		defer w.Close()
+		// The journal's plan is authoritative on resume: the sweep must
+		// finish what was planned, not what today's flags happen to say.
+		plan := lg.Plan()
+		if plan.Class != "" {
+			cl = plan.Class[0]
+		}
+		if len(plan.Threads) > 0 {
+			threads = plan.Threads
+		}
+		if len(plan.Benchmarks) > 0 {
+			benches = nil
+			for _, name := range plan.Benchmarks {
+				benches = append(benches, npbgo.Benchmark(name))
+			}
+		}
+		st := lg.State()
+		opt.Journal = w
+		opt.Resume = st.Done
+		fmt.Printf("resume: %s — %d of %d planned cells already done, %d pending%s\n",
+			*resumePath, len(st.Done), len(plan.Planned), len(st.Pending()),
+			map[bool]string{true: " (torn tail recovered)", false: ""}[lg.Truncated])
+	case *journalPath != "":
+		names := make([]string, len(benches))
+		for i, b := range benches {
+			names[i] = string(b)
+		}
+		w, err := journal.Create(*journalPath, journal.Plan{
+			Stamp: stamp, Class: string(cl), Threads: threads,
+			Benchmarks: names, Planned: harness.PlannedCells(benches, cl, threads),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: journal: %v\n", err)
+			os.Exit(2)
+		}
+		defer w.Close()
+		opt.Journal = w
+		fmt.Printf("journal: durable sweep journal at %s (resume with -resume %s)\n", *journalPath, *journalPath)
+	}
+	if *isolate {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npbsuite: isolate: %v\n", err)
+			os.Exit(2)
+		}
+		iso := &harness.Isolation{Cmd: []string{exe, "-run-cell"}}
+		if *memLimit != "" {
+			n, err := harness.ParseBytes(*memLimit)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npbsuite: %v\n", err)
+				os.Exit(2)
+			}
+			iso.MemLimitBytes = n
+		}
+		opt.Isolate = iso
+		fmt.Printf("isolate: cells run as watchdogged child processes%s\n",
+			map[bool]string{true: ", RSS limit " + *memLimit, false: ""}[*memLimit != ""])
+	} else if *memLimit != "" {
+		fmt.Fprintln(os.Stderr, "npbsuite: -mem-limit requires -isolate (RSS is watched from outside the cell process)")
+		os.Exit(2)
+	}
+	if *memGuard {
+		opt.MemGuard = &harness.MemGuard{}
+		if avail, ok := harness.AvailableMemory(); ok {
+			fmt.Printf("mem-guard: admission checks against %s available\n", harness.FormatBytes(avail))
+		}
+	}
+
+	fmt.Printf("NPB-Go suite sweep: class %c, GOMAXPROCS=%d, host CPUs=%d\n\n",
+		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if *traceDir != "" {
 		fmt.Printf("trace: per-cell Perfetto timelines written to %s/ (open at ui.perfetto.dev)\n\n", *traceDir)
 	}
@@ -170,6 +327,32 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkJournalMain validates a sweep journal and prints its state
+// summary; it is the CI soak job's final gate. Exit 0 means the journal
+// parsed under the current schema; a recovered torn tail is reported
+// but is not a failure (that is the journal working as designed).
+func checkJournalMain(path string) int {
+	lg, err := journal.Read(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npbsuite: check-journal: %v\n", err)
+		return 1
+	}
+	plan := lg.Plan()
+	st := lg.State()
+	fmt.Printf("journal: %s\n", path)
+	fmt.Printf("  schema:  %s (%d entries)\n", journal.Schema, len(lg.Entries))
+	if plan.Stamp != "" {
+		fmt.Printf("  stamp:   %s\n", plan.Stamp)
+	}
+	fmt.Printf("  plan:    class %s, %d cells\n", plan.Class, len(plan.Planned))
+	fmt.Printf("  state:   %d done, %d skipped, %d pending, %d resume marker(s)\n",
+		len(st.Done), len(st.Skipped), len(st.Pending()), st.Resumes)
+	if lg.Truncated {
+		fmt.Println("  note:    torn trailing line dropped (crash-interrupted append); journal is resumable")
+	}
+	return 0
 }
 
 // writeBenchRecord writes the sweep's machine-readable performance

@@ -127,6 +127,23 @@ func Hits(site string) int {
 	return hits[site]
 }
 
+// Fired returns how many times rules of the given kind have fired at
+// site under the active plan. Chaos campaigns use it to hold the suite
+// honest: a run that reports its verification passed after a corrupt
+// rule fired at its verify site is lying, and that is an invariant
+// violation, not bad luck.
+func Fired(site string, kind Kind) int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, st := range plan {
+		if st.Site == site && st.Kind == kind {
+			n += st.fired
+		}
+	}
+	return n
+}
+
 // eligible reports whether the rule fires on hit h, and records the
 // firing. Must be called with mu held.
 func (st *ruleState) eligible(h int) bool {

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"sort"
 	"testing"
 	"time"
 )
@@ -123,5 +124,50 @@ func TestActivateReplacesPlan(t *testing.T) {
 	Maybe("old") // old rule gone: no panic
 	if !Corrupted("new") {
 		t.Fatal("new rule inactive")
+	}
+}
+
+// TestSitesSortedAndStable: `npbsuite -list-faults` output must be
+// diffable across runs and builds, so Sites() guarantees sorted order
+// itself rather than trusting the declaration order of the registry.
+func TestSitesSortedAndStable(t *testing.T) {
+	a := Sites()
+	if !sort.StringsAreSorted(a) {
+		t.Fatalf("Sites() not sorted: %v", a)
+	}
+	b := Sites()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Sites() unstable between calls: %v vs %v", a, b)
+		}
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	a[0] = "zzz.mutated"
+	if c := Sites(); c[0] == "zzz.mutated" {
+		t.Fatal("Sites() exposes registry storage")
+	}
+}
+
+// TestFiredCountsPerSiteAndKind: the chaos campaign's honesty invariant
+// needs to know whether a corrupt rule actually fired during a cell.
+func TestFiredCountsPerSiteAndKind(t *testing.T) {
+	Activate(1,
+		Rule{Site: "v", Kind: KindCorrupt, Count: -1},
+		Rule{Site: "v", Kind: KindDelay, Count: -1, Sleep: time.Microsecond})
+	defer Reset()
+	if Fired("v", KindCorrupt) != 0 {
+		t.Fatal("fired before any hit")
+	}
+	Corrupted("v")
+	Corrupted("v")
+	Maybe("v")
+	if got := Fired("v", KindCorrupt); got != 2 {
+		t.Fatalf("Fired(corrupt) = %d, want 2", got)
+	}
+	if got := Fired("v", KindDelay); got != 1 {
+		t.Fatalf("Fired(delay) = %d, want 1", got)
+	}
+	if got := Fired("other", KindCorrupt); got != 0 {
+		t.Fatalf("Fired(other site) = %d, want 0", got)
 	}
 }

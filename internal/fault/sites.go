@@ -1,9 +1,11 @@
 package fault
 
+import "sort"
+
 // knownSites is the registry of every injection site compiled into the
-// suite, in sorted order. It is the single source of truth shared by
-// the npblint faultsite analyzer (which rejects site-key literals not
-// listed here), `npbsuite -list-faults`, and the robustness docs.
+// suite. It is the single source of truth shared by the npblint
+// faultsite analyzer (which rejects site-key literals not listed
+// here), `npbsuite -list-faults`, and the robustness docs.
 //
 // Adding a hook: call fault.Maybe/Corrupted/CorruptFloat with a new
 // "<package>.<event>" literal AND list it here — `make lint` fails
@@ -17,9 +19,14 @@ var knownSites = [...]string{
 	"team.region",  // team: entry of every parallel region body
 }
 
-// Sites returns the sorted list of known injection site keys.
+// Sites returns the known injection site keys in sorted order. The
+// sort is applied here rather than trusted from the declaration, so
+// consumers that must be deterministic and diffable (`npbsuite
+// -list-faults` in CI logs, the chaos scheduler's seeded draws) cannot
+// be broken by an unsorted insertion above.
 func Sites() []string {
 	out := make([]string, len(knownSites))
 	copy(out, knownSites[:])
+	sort.Strings(out)
 	return out
 }

@@ -26,6 +26,7 @@ import (
 
 	"npbgo"
 	"npbgo/internal/fault"
+	"npbgo/internal/journal"
 	"npbgo/internal/obs"
 	"npbgo/internal/report"
 	"npbgo/internal/timer"
@@ -50,6 +51,38 @@ type Run struct {
 	Obs     *obs.Stats      // runtime metrics of the kept repeat, nil unless Options.Obs
 	Phases  []timer.Phase   // phase profile of the kept repeat, nil unless the benchmark exposes timers
 	Trace   *trace.Snapshot // event timeline of the kept repeat, nil unless Options.TraceDir
+	// Replayed marks a cell restored from a journal on resume instead of
+	// executed; its numbers are the earlier run's.
+	Replayed bool
+}
+
+// SkipError marks a cell the harness refused to launch — today always
+// the memory admission guard. It renders as SKIP(memory: need X, have
+// Y) rather than FAIL: a skip is a correct answer ("this machine cannot
+// fit this cell"), not a failure, so it neither fails the sweep nor
+// counts as terminal in the journal (a resume on a bigger machine
+// re-attempts it).
+type SkipError struct {
+	Need uint64 // estimated working-set bytes (Config.FootprintBytes)
+	Have uint64 // admissible bytes after headroom
+}
+
+func (e *SkipError) Error() string {
+	return fmt.Sprintf("memory: need %s, have %s", FormatBytes(e.Need), FormatBytes(e.Have))
+}
+
+// KilledError marks an isolated cell hard-killed by the parent-side
+// watchdog: Reason is "timeout-killed" (deadline breach) or
+// "oom-killed" (RSS limit breach), the two failure modes an in-process
+// timeout cannot stop — a runaway loop ignores its context and an
+// OOM-ing kernel takes the whole process with it.
+type KilledError struct {
+	Reason string // "timeout-killed" or "oom-killed"
+	After  time.Duration
+}
+
+func (e *KilledError) Error() string {
+	return fmt.Sprintf("isolated cell %s after %s", e.Reason, e.After.Round(time.Millisecond))
 }
 
 // Sweep is the measured row set of one benchmark/class.
@@ -82,6 +115,34 @@ type Options struct {
 	// trace is the post-mortem.
 	TraceDir string
 
+	// Context, when non-nil, bounds the whole sweep: cancelling it stops
+	// the current cell (cooperatively in-process, by hard kill under
+	// Isolate), skips further retries, and interrupts any in-flight
+	// retry backoff immediately.
+	Context context.Context
+
+	// Journal, when non-nil, receives a durable (fsync'd) start entry
+	// before each cell executes and a finish entry — with the cell's
+	// measured report.CellMetrics — after it ends. A journal append
+	// failure aborts the sweep: silently losing durability would defeat
+	// the journal's whole point.
+	Journal *journal.Writer
+
+	// Resume maps cells to the metrics recorded by an earlier run's
+	// journal. A cell found here is replayed (Run.Replayed) instead of
+	// executed, and writes no new journal entries — its original
+	// entries already stand.
+	Resume map[journal.CellKey]*report.CellMetrics
+
+	// Isolate, when non-nil, runs every cell execution as a child
+	// process under a watchdog instead of in-process (see Isolation).
+	Isolate *Isolation
+
+	// MemGuard, when non-nil, checks each cell's estimated footprint
+	// against available memory before launch and records a
+	// SKIP(memory: ...) cell instead of executing one that cannot fit.
+	MemGuard *MemGuard
+
 	// sleep replaces time.Sleep between retries; tests inject it to
 	// verify backoff without waiting.
 	sleep func(time.Duration)
@@ -101,13 +162,55 @@ func RunSweep(bench npbgo.Benchmark, class byte, threads []int, warmup bool, rep
 // repeat) is recorded with Run.Err set and the remaining cells still
 // run. The returned error joins the per-cell failures, so callers can
 // both render the partial table and report that something went wrong.
+// Journal append failures are the one hard stop — durability broken
+// mid-sweep must not masquerade as a journaled run.
 func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options) (Sweep, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sw := Sweep{Benchmark: bench, Class: class}
 	var errs []error
 	cells := append([]int{0}, threads...)
 	for _, th := range cells {
-		r := runCell(bench, class, th, opt)
-		if r.Err != nil {
+		key := journal.CellKey{Benchmark: string(bench), Class: string(class), Threads: th}
+		if m, ok := opt.Resume[key]; ok && m != nil {
+			sw.Runs = append(sw.Runs, RunFromMetrics(*m))
+			continue
+		}
+		var r Run
+		var skip error
+		if opt.MemGuard != nil {
+			skip = opt.MemGuard.check(cellConfig(bench, class, th, opt))
+		}
+		switch {
+		case skip != nil:
+			r = Run{Threads: th, Err: skip}
+			if opt.Journal != nil {
+				m := cellMetrics(bench, class, r)
+				if err := opt.Journal.Finish(key, journal.StatusSkip, &m); err != nil {
+					return sw, errors.Join(append(errs, err)...)
+				}
+			}
+		default:
+			if opt.Journal != nil {
+				if err := opt.Journal.Start(key); err != nil {
+					return sw, errors.Join(append(errs, err)...)
+				}
+			}
+			r = runCell(ctx, bench, class, th, opt)
+			if opt.Journal != nil {
+				status := journal.StatusOK
+				if r.Err != nil {
+					status = journal.StatusFail
+				}
+				m := cellMetrics(bench, class, r)
+				if err := opt.Journal.Finish(key, status, &m); err != nil {
+					return sw, errors.Join(append(errs, err)...)
+				}
+			}
+		}
+		if r.Err != nil && !IsSkip(r.Err) {
 			cell := fmt.Sprintf("threads=%d", th)
 			if th == 0 {
 				cell = "serial"
@@ -129,24 +232,73 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 	return sw, errors.Join(errs...)
 }
 
-// runCell measures one cell: opt.Repeats repeats (best time kept), each
-// repeat retried with exponential backoff on failure.
-func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
+// IsSkip reports whether err is (or wraps) a cell skip — an admission
+// decision, not a failure.
+func IsSkip(err error) bool {
+	var se *SkipError
+	return errors.As(err, &se)
+}
+
+// cellConfig is the npbgo configuration of one cell under the sweep
+// options.
+func cellConfig(bench npbgo.Benchmark, class byte, threads int, opt Options) npbgo.Config {
 	n := threads
 	if n == 0 {
 		n = 1 // the serial baseline runs with one inline worker
 	}
+	return npbgo.Config{Benchmark: bench, Class: class, Threads: n,
+		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != ""}
+}
+
+// PlannedCells is the journal's cell list for a sweep set: for every
+// benchmark, the serial baseline followed by each thread count —
+// exactly the execution order of RunSweepOpts, so the plan and the run
+// cannot drift.
+func PlannedCells(benches []npbgo.Benchmark, class byte, threads []int) []journal.CellKey {
+	var out []journal.CellKey
+	for _, b := range benches {
+		for _, th := range append([]int{0}, threads...) {
+			out = append(out, journal.CellKey{Benchmark: string(b), Class: string(class), Threads: th})
+		}
+	}
+	return out
+}
+
+// RunFromMetrics reconstructs a Run from a journaled cell record, for
+// resume replay. Obs/trace snapshots are not round-tripped — the
+// journal keeps the flattened counters, which is what the tables and
+// bench records need.
+func RunFromMetrics(m report.CellMetrics) Run {
+	r := Run{
+		Threads:  m.Threads,
+		Elapsed:  time.Duration(m.Elapsed * float64(time.Second)),
+		Mops:     m.Mops,
+		Verified: m.Verified,
+		Attempts: m.Attempts,
+		Replayed: true,
+	}
+	for _, s := range m.Samples {
+		r.Samples = append(r.Samples, time.Duration(s*float64(time.Second)))
+	}
+	if m.Error != "" {
+		r.Err = errors.New(m.Error)
+	}
+	return r
+}
+
+// runCell measures one cell: opt.Repeats repeats (best time kept), each
+// repeat retried with exponential backoff on failure.
+func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 	repeats := opt.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	cfg := npbgo.Config{Benchmark: bench, Class: class, Threads: n,
-		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != ""}
+	cfg := cellConfig(bench, class, threads, opt)
 	var best *Run
 	var samples []time.Duration
 	attempts := 0
 	for rep := 0; rep < repeats; rep++ {
-		res, used, err := runAttempts(cfg, opt)
+		res, used, err := runAttempts(ctx, cfg, opt)
 		attempts += used
 		if err != nil {
 			// A cancelled/failed run still carries its partial obs
@@ -171,43 +323,63 @@ func runCell(bench npbgo.Benchmark, class byte, threads int, opt Options) Run {
 }
 
 // runAttempts runs one measurement, retrying transient failures up to
-// opt.Retries times with exponential backoff. It returns the number of
-// attempts consumed.
-func runAttempts(cfg npbgo.Config, opt Options) (npbgo.Result, int, error) {
-	sleep := opt.sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
+// opt.Retries times with exponential backoff. The backoff sleep is
+// context-interruptible: cancelling the sweep mid-backoff returns
+// immediately instead of waiting out the delay, and a cancelled sweep
+// stops retrying. It returns the number of attempts consumed.
+func runAttempts(ctx context.Context, cfg npbgo.Config, opt Options) (npbgo.Result, int, error) {
 	backoff := opt.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
 	for attempt := 1; ; attempt++ {
-		res, err := runOnce(cfg, opt.Timeout)
+		res, err := runOnce(ctx, cfg, opt)
 		if err == nil {
 			return res, attempt, nil
 		}
-		if attempt > opt.Retries {
+		if attempt > opt.Retries || ctx.Err() != nil {
 			return res, attempt, err
 		}
-		sleep(backoff)
+		if !sleepCtx(ctx, backoff, opt.sleep) {
+			return res, attempt, err
+		}
 		backoff *= 2
 	}
 }
 
+// sleepCtx sleeps for d or until ctx is cancelled, reporting whether
+// the full delay elapsed. An injected test sleeper bypasses the timer.
+func sleepCtx(ctx context.Context, d time.Duration, injected func(time.Duration)) bool {
+	if injected != nil {
+		injected(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // runOnce is a single panic-isolated, optionally deadline-bounded
-// benchmark execution.
-func runOnce(cfg npbgo.Config, timeout time.Duration) (res npbgo.Result, err error) {
+// benchmark execution — in-process by default, or a watchdogged child
+// process under opt.Isolate.
+func runOnce(ctx context.Context, cfg npbgo.Config, opt Options) (res npbgo.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("harness: cell panicked: %v", v)
 		}
 	}()
 	fault.Maybe("harness.cell")
-	ctx := context.Background()
-	if timeout > 0 {
+	if opt.Isolate != nil {
+		return runIsolated(ctx, cfg, opt.Timeout, opt.Isolate)
+	}
+	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
 	return npbgo.RunContext(ctx, cfg)
@@ -243,6 +415,10 @@ func writeTrace(dir string, bench npbgo.Benchmark, class byte, r Run) error {
 // failReason compresses a cell error into the short tag rendered inside
 // FAIL(...) table cells.
 func failReason(err error) string {
+	var ke *KilledError
+	if errors.As(err, &ke) {
+		return ke.Reason
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return "timeout"
 	}
@@ -285,9 +461,14 @@ func (s Sweep) Efficiency(threads int) float64 {
 	return s.Speedup(threads) / float64(threads)
 }
 
-// cellText renders one measured cell: its time in seconds, or
-// FAIL(reason) for a cell that failed after all retries.
+// cellText renders one measured cell: its time in seconds, FAIL(reason)
+// for a cell that failed after all retries, or SKIP(memory: ...) for a
+// cell the admission guard withheld.
 func cellText(r Run) string {
+	var se *SkipError
+	if errors.As(r.Err, &se) {
+		return "SKIP(" + se.Error() + ")"
+	}
 	if r.Err != nil {
 		return "FAIL(" + failReason(r.Err) + ")"
 	}

@@ -1,0 +1,24 @@
+package is
+
+import "fmt"
+
+// Footprint estimates the working-set bytes an IS run of the given
+// class and thread count allocates: the key and shuffle arrays
+// (2^totalKeysLog2 int32 each), the global density array and one
+// density array per thread (2^maxKeyLog2 int32 each). The per-thread
+// term is what makes high thread counts of class C heavy — exactly
+// what the harness admission guard needs to know before launch.
+func Footprint(class byte, threads int) (uint64, error) {
+	p, ok := classes[class]
+	if !ok {
+		return 0, fmt.Errorf("is: unknown class %q", string(class))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	numKeys := uint64(1) << p.totalKeysLog2
+	maxKey := uint64(1) << p.maxKeyLog2
+	keys := 2 * numKeys * 4                    // keys + buff2
+	dens := (1 + uint64(threads)) * maxKey * 4 // global + per-thread densities
+	return keys + dens, nil
+}

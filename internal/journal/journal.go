@@ -1,0 +1,349 @@
+// Package journal is the durable write-ahead log of a sweep: one JSON
+// line per event (the plan, each cell start, each cell finish with its
+// measured metrics), fsync'd before the harness moves on, so any crash
+// — OOM kill, power loss, SIGKILL — loses at most the line being
+// written when it hit. A later `npbsuite -resume` replays the journal's
+// completed cells and re-executes only the pending and interrupted
+// ones; the paper's long multi-configuration sweeps are exactly the
+// runs where losing hours of partial results to one bad cell is the
+// dominant cost.
+//
+// The format is JSON Lines under the schema stamp "npbgo/journal/v1".
+// The first entry is always the plan (the full cell list plus the
+// sweep's class/threads/benchmark axes, so resume needs no flags); a
+// crash mid-append truncates the trailing line, which the reader
+// detects and drops rather than failing the whole recovery.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"npbgo/internal/report"
+)
+
+// Schema identifies the journal layout; bump on incompatible change so
+// resume fails loudly on a journal written by a different generation.
+const Schema = "npbgo/journal/v1"
+
+// Entry kinds, in the order they appear in a healthy journal.
+const (
+	KindPlan   = "plan"   // first entry: the planned cell list and sweep axes
+	KindResume = "resume" // a resumed process appended from here on
+	KindStart  = "start"  // a cell's execution began
+	KindFinish = "finish" // a cell's execution ended (see the Status* values)
+)
+
+// Finish statuses.
+const (
+	StatusOK   = "ok"   // cell measured (verification may still be "no")
+	StatusFail = "fail" // cell failed after all retries; Metrics.Error says why
+	StatusSkip = "skip" // cell withheld (e.g. memory admission); re-attempted on resume
+)
+
+// CellKey identifies one sweep cell. Threads 0 is the serial baseline
+// column, matching harness.Run.
+type CellKey struct {
+	Benchmark string `json:"benchmark"`
+	Class     string `json:"class"`
+	Threads   int    `json:"threads"`
+}
+
+func (k CellKey) String() string {
+	cell := fmt.Sprintf("t%d", k.Threads)
+	if k.Threads == 0 {
+		cell = "serial"
+	}
+	return fmt.Sprintf("%s.%s.%s", k.Benchmark, k.Class, cell)
+}
+
+// Entry is one journal line.
+type Entry struct {
+	Kind string `json:"kind"`
+	Seq  int    `json:"seq"` // 1-based position in the journal
+
+	// Plan fields (KindPlan only; Schema also stamps KindResume).
+	Schema     string    `json:"schema,omitempty"`
+	Stamp      string    `json:"stamp,omitempty"` // UTC, 20060102T150405Z
+	Class      string    `json:"class,omitempty"`
+	Threads    []int     `json:"threads,omitempty"`
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	Planned    []CellKey `json:"planned,omitempty"`
+
+	// Cell fields (KindStart/KindFinish).
+	Cell    *CellKey            `json:"cell,omitempty"`
+	Status  string              `json:"status,omitempty"`  // KindFinish: Status*
+	Metrics *report.CellMetrics `json:"metrics,omitempty"` // KindFinish: the measured record
+}
+
+// Plan describes the sweep a journal belongs to, as recorded in its
+// first entry.
+type Plan struct {
+	Stamp      string
+	Class      string
+	Threads    []int
+	Benchmarks []string
+	Planned    []CellKey
+}
+
+// Writer appends fsync'd entries to a journal file. It is safe for one
+// process at a time; entries are sequenced and synced before Append
+// returns, so an entry the caller has seen acknowledged survives any
+// subsequent crash.
+type Writer struct {
+	mu  sync.Mutex
+	f   *os.File
+	seq int
+}
+
+// Create starts a fresh journal at path (truncating any previous file)
+// and durably writes the plan entry.
+func Create(path string, plan Plan) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f}
+	err = w.Append(Entry{Kind: KindPlan, Schema: Schema, Stamp: plan.Stamp,
+		Class: plan.Class, Threads: plan.Threads, Benchmarks: plan.Benchmarks,
+		Planned: plan.Planned})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// AppendTo reopens an existing journal for a resumed sweep, validates
+// it (schema, parseability), and durably writes a resume marker. It
+// returns the writer positioned after the last intact entry together
+// with the recovered log; a crash-truncated trailing line is dropped
+// from the file so the journal is whole again before new entries land.
+func AppendTo(path, stamp string) (*Writer, *Log, error) {
+	log, err := Read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	// Drop the torn tail, if any: everything after the last intact
+	// entry is a partial line from the crashed writer.
+	if err := f.Truncate(log.intactBytes); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(log.intactBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f, seq: len(log.Entries)}
+	if err := w.Append(Entry{Kind: KindResume, Schema: Schema, Stamp: stamp}); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, log, nil
+}
+
+// Append durably writes one entry: marshal, write, fsync. The entry's
+// Seq is assigned by the writer.
+func (w *Writer) Append(e Entry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	e.Seq = w.seq
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Start journals that a cell's execution is beginning.
+func (w *Writer) Start(cell CellKey) error {
+	return w.Append(Entry{Kind: KindStart, Cell: &cell})
+}
+
+// Finish journals a cell's terminal state with its measured record.
+func (w *Writer) Finish(cell CellKey, status string, m *report.CellMetrics) error {
+	return w.Append(Entry{Kind: KindFinish, Cell: &cell, Status: status, Metrics: m})
+}
+
+// Close closes the underlying file (entries are already synced).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Log is a recovered journal.
+type Log struct {
+	Entries   []Entry
+	Truncated bool // the trailing line was torn by a crash and dropped
+
+	// intactBytes is the file offset after the last whole entry, used
+	// by AppendTo to cut the torn tail before resuming.
+	intactBytes int64
+}
+
+// Read recovers the journal at path. A torn trailing line (the signature
+// of a crash mid-append) is dropped and flagged via Log.Truncated; a
+// malformed line anywhere else is a hard error, as is a journal whose
+// first entry is not a plan under the supported schema.
+func Read(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// ReadFrom is Read over an arbitrary stream.
+func ReadFrom(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	log := &Log{}
+	var pos int64
+	for {
+		line, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		pos += int64(len(line))
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var e Entry
+			if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+				// A line that fails to parse at the very end of the file
+				// is the torn write of a crashed process: drop it. The
+				// same failure mid-file means corruption and is fatal.
+				if atEOF || lastLine(br) {
+					log.Truncated = true
+					return validated(log)
+				}
+				return nil, fmt.Errorf("journal: entry %d: %w", len(log.Entries)+1, jerr)
+			}
+			// A whole line that did parse but lacks its newline was still
+			// in flight when the writer died; its fsync never returned, so
+			// treat it as torn too — resume re-executes that cell.
+			if atEOF && !bytes.HasSuffix(line, []byte("\n")) {
+				log.Truncated = true
+				return validated(log)
+			}
+			log.Entries = append(log.Entries, e)
+			log.intactBytes = pos
+		}
+		if atEOF {
+			return validated(log)
+		}
+	}
+}
+
+// lastLine reports whether the reader has no further non-empty content.
+func lastLine(br *bufio.Reader) bool {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return true
+		}
+		if b != '\n' && b != ' ' && b != '\t' && b != '\r' {
+			return false
+		}
+	}
+}
+
+// validated applies the structural checks every recovered journal must
+// pass: at least one entry, a plan first, and a supported schema.
+func validated(log *Log) (*Log, error) {
+	if len(log.Entries) == 0 {
+		return nil, fmt.Errorf("journal: no intact entries")
+	}
+	first := log.Entries[0]
+	if first.Kind != KindPlan {
+		return nil, fmt.Errorf("journal: first entry is %q, want %q", first.Kind, KindPlan)
+	}
+	if first.Schema != Schema {
+		return nil, fmt.Errorf("journal: unknown schema %q (this tool reads %q)", first.Schema, Schema)
+	}
+	return log, nil
+}
+
+// Plan returns the sweep description from the journal's plan entry.
+func (l *Log) Plan() Plan {
+	first := l.Entries[0]
+	return Plan{Stamp: first.Stamp, Class: first.Class, Threads: first.Threads,
+		Benchmarks: first.Benchmarks, Planned: first.Planned}
+}
+
+// State is the recovery view of a journal: which planned cells are
+// terminal (completed or failed — both count as done, a fail already
+// consumed its retries), which were skipped (re-attempted on resume,
+// since admission conditions change between hosts and runs), and which
+// were started but never finished (interrupted mid-flight; resume
+// re-executes them).
+type State struct {
+	Plan    Plan
+	Done    map[CellKey]*report.CellMetrics // finish ok|fail
+	Skipped map[CellKey]bool                // finish skip
+	Starts  map[CellKey]int                 // start entries per cell
+	Resumes int                             // resume markers seen
+}
+
+// State folds the journal into its recovery view.
+func (l *Log) State() *State {
+	s := &State{
+		Plan:    l.Plan(),
+		Done:    make(map[CellKey]*report.CellMetrics),
+		Skipped: make(map[CellKey]bool),
+		Starts:  make(map[CellKey]int),
+	}
+	for _, e := range l.Entries {
+		switch e.Kind {
+		case KindResume:
+			s.Resumes++
+		case KindStart:
+			if e.Cell != nil {
+				s.Starts[*e.Cell]++
+			}
+		case KindFinish:
+			if e.Cell == nil {
+				continue
+			}
+			switch e.Status {
+			case StatusOK, StatusFail:
+				s.Done[*e.Cell] = e.Metrics
+				delete(s.Skipped, *e.Cell)
+			case StatusSkip:
+				s.Skipped[*e.Cell] = true
+			}
+		}
+	}
+	return s
+}
+
+// Pending returns the planned cells that still need execution, in plan
+// order: everything not terminal — never-started, interrupted, and
+// skipped cells alike.
+func (s *State) Pending() []CellKey {
+	var out []CellKey
+	for _, k := range s.Plan.Planned {
+		if _, done := s.Done[k]; !done {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"npbgo/internal/report"
+)
+
+func testPlan() Plan {
+	return Plan{
+		Stamp:      "20260807T120000Z",
+		Class:      "S",
+		Threads:    []int{1, 2},
+		Benchmarks: []string{"CG", "EP"},
+		Planned: []CellKey{
+			{"CG", "S", 0}, {"CG", "S", 1}, {"CG", "S", 2},
+			{"EP", "S", 0}, {"EP", "S", 1}, {"EP", "S", 2},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg0 := CellKey{"CG", "S", 0}
+	if err := w.Start(cg0); err != nil {
+		t.Fatal(err)
+	}
+	m := &report.CellMetrics{Benchmark: "CG", Class: "S", Threads: 0, Elapsed: 0.5, Verified: true}
+	if err := w.Finish(cg0, StatusOK, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if len(log.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(log.Entries))
+	}
+	if p := log.Plan(); p.Class != "S" || len(p.Planned) != 6 || p.Benchmarks[1] != "EP" {
+		t.Fatalf("plan did not round-trip: %+v", p)
+	}
+	st := log.State()
+	if got, ok := st.Done[cg0]; !ok || got == nil || got.Elapsed != 0.5 || !got.Verified {
+		t.Fatalf("finished cell not in Done with metrics: %+v", got)
+	}
+	if n := len(st.Pending()); n != 5 {
+		t.Fatalf("pending = %d, want 5", n)
+	}
+}
+
+// TestTornTailDropped simulates a crash mid-append: the trailing line is
+// cut mid-JSON. Recovery must keep every intact entry, flag the
+// truncation, and treat the torn cell as pending.
+func TestTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg0 := CellKey{"CG", "S", 0}
+	if err := w.Start(cg0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(cg0, StatusOK, &report.CellMetrics{Benchmark: "CG", Elapsed: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(CellKey{"CG", "S", 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Tear the last line in half, as SIGKILL mid-write would.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Read(path)
+	if err != nil {
+		t.Fatalf("torn journal did not recover: %v", err)
+	}
+	if !log.Truncated {
+		t.Fatal("torn tail not flagged")
+	}
+	if len(log.Entries) != 3 { // plan + start + finish; torn start dropped
+		t.Fatalf("got %d entries, want 3", len(log.Entries))
+	}
+	st := log.State()
+	if len(st.Done) != 1 {
+		t.Fatalf("Done = %v", st.Done)
+	}
+	pending := st.Pending()
+	if len(pending) != 5 || pending[0] != (CellKey{"CG", "S", 1}) {
+		t.Fatalf("pending = %v", pending)
+	}
+}
+
+// TestAppendToCutsTornTailAndResumes: reopening a torn journal must
+// truncate the partial line, append a resume marker, and leave a fully
+// parseable journal behind.
+func TestAppendToCutsTornTailAndResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start(CellKey{"CG", "S", 0}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	buf, _ := os.ReadFile(path)
+	os.WriteFile(path, buf[:len(buf)-9], 0o644)
+
+	w2, log, err := AppendTo(path, "20260807T130000Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Truncated {
+		t.Fatal("resume did not see the torn tail")
+	}
+	cg0 := CellKey{"CG", "S", 0}
+	if err := w2.Start(cg0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Finish(cg0, StatusOK, &report.CellMetrics{Benchmark: "CG"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	final, err := Read(path)
+	if err != nil {
+		t.Fatalf("journal not whole after resume: %v", err)
+	}
+	if final.Truncated {
+		t.Fatal("resumed journal still torn")
+	}
+	kinds := make([]string, len(final.Entries))
+	for i, e := range final.Entries {
+		kinds[i] = e.Kind
+	}
+	want := []string{KindPlan, KindResume, KindStart, KindFinish}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("entry kinds = %v, want %v", kinds, want)
+	}
+	if final.State().Resumes != 1 {
+		t.Fatalf("resume marker lost: %+v", final.State())
+	}
+	// Sequence numbers must stay strictly increasing across the resume.
+	for i, e := range final.Entries {
+		if e.Seq != i+1 {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+// TestSkipIsReattempted: a memory-skipped cell is journaled terminal for
+// the run but stays pending for resume — the next host may have room.
+func TestSkipIsReattempted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2 := CellKey{"EP", "S", 2}
+	if err := w.Finish(ep2, StatusSkip, &report.CellMetrics{Benchmark: "EP", Error: "memory: need 8GiB, have 1GiB"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	st, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.State()
+	if !s.Skipped[ep2] {
+		t.Fatal("skip not recorded")
+	}
+	if _, done := s.Done[ep2]; done {
+		t.Fatal("skip treated as terminal")
+	}
+	found := false
+	for _, k := range s.Pending() {
+		if k == ep2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("skipped cell not pending on resume")
+	}
+}
+
+// TestFailIsTerminal: a failed cell already consumed its retries; resume
+// must not execute it again.
+func TestFailIsTerminal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg1 := CellKey{"CG", "S", 1}
+	w.Start(cg1)
+	if err := w.Finish(cg1, StatusFail, &report.CellMetrics{Benchmark: "CG", Error: "panic"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	log, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range log.State().Pending() {
+		if k == cg1 {
+			t.Fatal("failed cell still pending")
+		}
+	}
+}
+
+func TestCorruptMidFileIsFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path, testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(CellKey{"CG", "S", 0})
+	w.Close()
+	buf, _ := os.ReadFile(path)
+	// Corrupt the first line but keep the second intact: not a torn
+	// tail, so recovery must refuse rather than silently drop entries.
+	buf[2] = 0
+	os.WriteFile(path, buf, 0o644)
+	if _, err := Read(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestUnknownSchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	os.WriteFile(path, []byte(`{"kind":"plan","seq":1,"schema":"npbgo/journal/v99"}`+"\n"), 0o644)
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future schema accepted: %v", err)
+	}
+}
+
+func TestEmptyJournalRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	os.WriteFile(path, nil, 0o644)
+	if _, err := Read(path); err == nil {
+		t.Fatal("empty journal accepted")
+	}
+}

@@ -102,6 +102,13 @@ func WriteJSONL(w io.Writer, v any) error {
 // supported version, so stale tooling fails loudly instead of
 // misreading a future layout. An input with no records is an error —
 // every caller wants at least one.
+//
+// A record cut off by the end of the input is tolerated: a crash (or a
+// kill -9) mid-append leaves exactly one torn record at the tail of an
+// append-mode history file, and the complete records before it are
+// still good data. The torn tail is dropped; corruption anywhere
+// earlier in the stream stays a hard error, because it means the file
+// was damaged, not merely interrupted.
 func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
 	dec := json.NewDecoder(r)
 	var out []BenchRecord
@@ -109,6 +116,11 @@ func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
 		var rec BenchRecord
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
+		} else if errors.Is(err, io.ErrUnexpectedEOF) {
+			if len(out) == 0 {
+				return nil, errors.New("report: input is one truncated bench record (crash-cut before any record completed)")
+			}
+			return out, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("report: bench record %d: %w", len(out)+1, err)
 		}

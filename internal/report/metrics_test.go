@@ -174,3 +174,79 @@ func TestWriteJSONLOmitsDisabledObs(t *testing.T) {
 		}
 	}
 }
+
+// TestReadBenchRecordsTruncatedTailFixture reads the checked-in
+// crash-cut history file: two complete JSONL records followed by a
+// record torn mid-object, exactly what a kill -9 during an append
+// leaves behind. The complete records must come back; the torn tail
+// must be dropped, not turned into an error.
+func TestReadBenchRecordsTruncatedTailFixture(t *testing.T) {
+	f, err := os.Open("testdata/bench_truncated.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadBenchRecords(f)
+	if err != nil {
+		t.Fatalf("truncated tail not tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want the 2 complete ones", len(recs))
+	}
+	if recs[0].Stamp != "20260805T100000Z" || recs[1].Stamp != "20260805T110000Z" {
+		t.Fatalf("wrong records survived: %s, %s", recs[0].Stamp, recs[1].Stamp)
+	}
+}
+
+// TestReadBenchRecordsTruncatedEverywhere sweeps every cut point of a
+// two-record stream: a cut inside the second record yields the first; a
+// cut inside the first (no complete record) is an error; no cut point
+// may panic or fabricate a record.
+func TestReadBenchRecordsTruncatedEverywhere(t *testing.T) {
+	var buf bytes.Buffer
+	first := benchFixture()
+	if err := WriteJSONL(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := buf.Len()
+	second := benchFixture()
+	second.Stamp = "20260802T000000Z"
+	if err := WriteJSONL(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// A cut keeping the first record's closing brace (firstLen-1 strips
+	// only its newline) leaves one complete record.
+	for cut := 1; cut < len(whole)-1; cut++ {
+		recs, err := ReadBenchRecords(bytes.NewReader(whole[:cut]))
+		if cut < firstLen-1 {
+			if err == nil {
+				t.Fatalf("cut %d inside the first record accepted with %d records", cut, len(recs))
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d after a complete record rejected: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].Stamp != first.Stamp {
+			t.Fatalf("cut %d returned %d records", cut, len(recs))
+		}
+	}
+}
+
+// TestReadBenchRecordsMidStreamCorruptionStillFatal: tolerance is for
+// the tail only — garbage between records means the file is damaged,
+// and must stay a loud error.
+func TestReadBenchRecordsMidStreamCorruptionStillFatal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, benchFixture()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("]]not json[[\n")
+	if err := WriteJSONL(&buf, benchFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchRecords(&buf); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package sp
+
+import "fmt"
+
+// Footprint estimates the working-set bytes an SP run of the given
+// class and thread count allocates: the nscore field with the Speed
+// grid (22 scalar-grid equivalents over n³ points) plus the per-thread
+// pentadiagonal line scratch. Feeds the harness memory admission guard;
+// dominant arrays only.
+func Footprint(class byte, threads int) (uint64, error) {
+	spec, ok := classes[class]
+	if !ok {
+		return 0, fmt.Errorf("sp: unknown class %q", string(class))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	n := uint64(spec.size)
+	n3 := n * n * n
+	field := 22 * n3 * 8                    // BT's 21 grids + Speed
+	scratch := uint64(threads) * 17 * n * 8 // lhs/lhsp/lhsm (5n) + cv/rho (n)
+	return field + scratch, nil
+}
