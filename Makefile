@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint bench bench-json perf suite suite-obs suite-trace soak tables clean
+.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak tables clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,23 @@ $(NPBLINT): FORCE
 
 .PHONY: FORCE
 FORCE:
+
+# Dynamic allocation gate: steady-state allocations per benchmark
+# iteration, measured with testing.AllocsPerRun and asserted against
+# the checked-in budgets in internal/allocgate/budgets.go. The class-W
+# gates run full-size iterations; drop them with GOFLAGS=-short.
+allocgate:
+	$(GO) test -run 'TestGate' -v ./internal/allocgate
+
+# Escape-analysis discipline: diff the compiler's current heap-escape
+# report (go build -gcflags=-m=2 on the hot packages) against the
+# committed baseline. New escapes fail; after fixing escapes, lock the
+# improvement in with escape-baseline.
+escape-check:
+	$(GO) run ./cmd/npbescape -diff escape_baseline.jsonl
+
+escape-baseline:
+	$(GO) run ./cmd/npbescape -update escape_baseline.jsonl
 
 # Race detection on short classes; the robustness-critical packages get
 # a dedicated -race pass even under -short.

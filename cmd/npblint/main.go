@@ -40,6 +40,8 @@ func main() {
 	flag.Var(versionFlag{}, "V", "print version and exit")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	unusedIgnores := flag.Bool("unused-ignores", false,
+		"warn about //npblint:ignore comments that suppress nothing (standalone mode; never affects the exit status)")
 	enabled := make(map[string]*string)
 	for _, a := range all {
 		enabled[a.Name] = flag.String(a.Name, "", "enable/disable the "+a.Name+" analyzer (true/false)")
@@ -62,11 +64,18 @@ func main() {
 	}
 
 	analyzers := selectAnalyzers(all, enabled)
+	// Suppression names are validated against the full catalog, not the
+	// selected subset: -gridindex=false must not turn every valid
+	// `//npblint:ignore gridindex` in the repo into an unknown name.
+	cfg := driver.RunConfig{UnusedIgnores: *unusedIgnores}
+	for _, a := range all {
+		cfg.Known = append(cfg.Known, a.Name)
+	}
 	args := flag.Args()
 
 	// Unit mode: go vet hands us exactly one *.cfg file.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		n, err := driver.RunUnit(os.Stderr, args[0], analyzers)
+		n, err := driver.RunUnit(os.Stderr, args[0], analyzers, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
 			os.Exit(1)
@@ -86,13 +95,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
 		os.Exit(1)
 	}
-	findings, err := driver.Run(pkgs, analyzers)
+	findings, warnings, err := driver.RunConfigured(pkgs, analyzers, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "npblint: %v\n", err)
 		os.Exit(1)
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	// The suppression audit is advisory: warnings are labeled and never
+	// change the exit status.
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "%s: warning: %s (%s)\n", w.Pos, w.Message, w.Analyzer)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

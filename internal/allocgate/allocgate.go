@@ -1,0 +1,126 @@
+// Package allocgate is the dynamic half of the suite's allocation
+// discipline: it measures the steady-state heap allocations of every
+// benchmark's Iter hook and asserts them against the checked-in
+// budgets in budgets.go. The static half is the hotalloc analyzer
+// (internal/analysis/hotalloc), which proves by inspection that the
+// hot region bodies contain no allocation sites; this package proves
+// the same thing by measurement, catching what the analyzer cannot see
+// (allocations inside callees, lazily built state, compiler-inserted
+// escapes).
+//
+// Each gate builds a benchmark, runs a few warm-up iterations so every
+// lazily constructed structure (cached pipelines, reused teams) exists,
+// then measures allocations per Iter with testing.AllocsPerRun. Field
+// values are irrelevant to the measurement — allocation counts in
+// these kernels do not depend on the data — so the gates run Iter on
+// freshly constructed (zero-valued) grids rather than reproducing each
+// benchmark's untimed setup phase.
+package allocgate
+
+import (
+	"fmt"
+	"testing"
+
+	"npbgo/internal/bt"
+	"npbgo/internal/cg"
+	"npbgo/internal/ep"
+	"npbgo/internal/ft"
+	"npbgo/internal/is"
+	"npbgo/internal/lu"
+	"npbgo/internal/mg"
+	"npbgo/internal/sp"
+	"npbgo/internal/team"
+)
+
+// Threads is the team size every gate measures at. Two workers is the
+// smallest size that exercises the parallel paths (closure hand-off to
+// worker goroutines, pipelines, partial-sum reduction); n=1 short
+// circuits them.
+const Threads = 2
+
+// Key identifies one gated configuration.
+type Key struct {
+	Bench string // "cg", "ep", "ft", "is", "is-buckets", "mg", "lu", "bt", "sp"
+	Class byte   // 'S' or 'W'
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s.%c", k.Bench, k.Class) }
+
+// Measure builds benchmark k.Bench at class k.Class, warms its
+// steady-state hook with warm iterations, then returns the average
+// allocations per Iter over runs measured iterations (via
+// testing.AllocsPerRun, which pins GOMAXPROCS to 1 for the
+// measurement).
+func Measure(k Key, warm, runs int) (float64, error) {
+	iter, err := newIter(k)
+	if err != nil {
+		return 0, err
+	}
+	tm := team.New(Threads)
+	defer tm.Close()
+	for i := 0; i < warm; i++ {
+		iter(tm)
+	}
+	return testing.AllocsPerRun(runs, func() { iter(tm) }), nil
+}
+
+// newIter constructs the benchmark behind k and returns its Iter hook.
+func newIter(k Key) (func(tm *team.Team), error) {
+	switch k.Bench {
+	case "cg":
+		b, err := cg.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return func(tm *team.Team) { b.Iter(tm) }, nil
+	case "ep":
+		b, err := ep.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "ft":
+		b, err := ft.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return func(tm *team.Team) { b.Iter(tm) }, nil
+	case "is":
+		b, err := is.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "is-buckets":
+		b, err := is.New(k.Class, Threads, is.WithBuckets())
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "mg":
+		b, err := mg.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "lu":
+		b, err := lu.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "bt":
+		b, err := bt.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	case "sp":
+		b, err := sp.New(k.Class, Threads)
+		if err != nil {
+			return nil, err
+		}
+		return b.Iter, nil
+	}
+	return nil, fmt.Errorf("allocgate: unknown benchmark %q", k.Bench)
+}

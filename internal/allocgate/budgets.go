@@ -1,0 +1,51 @@
+package allocgate
+
+// Budgets is the checked-in ceiling on steady-state heap allocations
+// per Iter for every gated configuration, measured at Threads workers.
+// Lowering a budget is always safe; raising one is a performance
+// regression and needs the same scrutiny as a slower benchmark result.
+//
+// The fully hoisted kernels (CG, EP, FT, IS, MG, LU) hold a zero
+// budget at both classes: their region bodies are closures built once
+// at construction time, operands are staged through benchmark fields,
+// reductions go through the team's per-worker partial slots, and LU's
+// plane pipeline is cached per team. The zero entries for EP and CG
+// class S are the floor the roadmap requires; the rest reached zero
+// with the same refactor.
+//
+// BT and SP still build their phase and region closures per time step
+// — a handful of fixed-size allocations whose count is pinned here
+// (BT: 5 phase thunks plus the per-direction and rhs/add region
+// bodies; SP: 6 phase thunks plus the eigenvector-transform and solver
+// region bodies). They are deliberate: each allocation is ~tens of
+// bytes per *step* (not per grid point), invisible next to the O(n^3)
+// sweep they launch. The pinned budget keeps them from growing
+// silently; driving them to zero is future work tracked in the
+// ROADMAP.
+var Budgets = map[Key]int{
+	{"cg", 'S'}: 0,
+	{"cg", 'W'}: 0,
+
+	{"ep", 'S'}: 0,
+	{"ep", 'W'}: 0,
+
+	{"ft", 'S'}: 0,
+	{"ft", 'W'}: 0,
+
+	{"is", 'S'}:         0,
+	{"is", 'W'}:         0,
+	{"is-buckets", 'S'}: 0,
+	{"is-buckets", 'W'}: 0,
+
+	{"mg", 'S'}: 0,
+	{"mg", 'W'}: 0,
+
+	{"lu", 'S'}: 0,
+	{"lu", 'W'}: 0,
+
+	{"bt", 'S'}: 22,
+	{"bt", 'W'}: 22,
+
+	{"sp", 'S'}: 30,
+	{"sp", 'W'}: 30,
+}

@@ -1,0 +1,137 @@
+// Package atomichygiene flags variables that are accessed both through
+// sync/atomic calls and through plain loads or stores.
+//
+// Mixing the two is the race class fixed by hand in the team.Close
+// work: an `atomic.AddInt64(&s.n, 1)` on the worker side paired with a
+// plain `s.n` read on the master side compiles, passes tests, and is
+// still a data race — the plain access can tear, be reordered, or be
+// hoisted out of a loop by the compiler. Once one access site of a
+// word is atomic, every access site must be: either all callers go
+// through sync/atomic, or the field migrates to the atomic.Bool/Int64
+// wrapper types whose method set makes plain access impossible (the
+// style the team runtime itself uses).
+//
+// The analyzer records every variable whose address is taken as the
+// first argument of a sync/atomic call, then reports every other
+// plain mention of the same variable in the package. Initialization
+// before any goroutine exists is a legitimate plain store; suppress
+// those sites with `//npblint:ignore atomichygiene <reason>` or, better,
+// use the wrapper types.
+package atomichygiene
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"npbgo/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc:  "flag variables accessed both via sync/atomic calls and via plain loads/stores",
+	Run:  run,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is
+// the address of the word they operate on.
+func isAtomicFunc(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: variables used atomically, and the positions of the
+	// &x arguments themselves (excluded from the plain-access scan).
+	atomicVars := make(map[types.Object]token.Position)
+	atomicArgs := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call)
+			if !ok || pkg != "sync/atomic" || !isAtomicFunc(name) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj := referencedVar(pass, addr.X)
+			if obj == nil {
+				return true
+			}
+			atomicArgs[addr.X] = true
+			if _, seen := atomicVars[obj]; !seen {
+				atomicVars[obj] = pass.Fset.Position(call.Pos())
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other mention of those variables is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if atomicArgs[expr] {
+				return false // the &x of an atomic call itself
+			}
+			obj := referencedVar(pass, expr)
+			if obj == nil {
+				return true
+			}
+			first, isAtomic := atomicVars[obj]
+			if !isAtomic {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: expr.Pos(),
+				Message: fmt.Sprintf("%s is accessed with sync/atomic (first at %s:%d) but plainly here; "+
+					"every access must be atomic, or the field should use the atomic wrapper types",
+					obj.Name(), trimPath(first.Filename), first.Line),
+			})
+			return false
+		})
+	}
+	return nil
+}
+
+// referencedVar resolves an expression to the variable it names: a
+// plain identifier or a field selector. Anything more indirect
+// (indexing, dereference chains) is out of scope for this static check.
+func referencedVar(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch v := expr.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[v]; ok {
+			if _, isVar := obj.(*types.Var); isVar {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+func trimPath(file string) string {
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		return file[i+1:]
+	}
+	return file
+}

@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/atomichygiene"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, atomichygiene.Analyzer, "testdata")
+}

@@ -1,0 +1,46 @@
+package atomicfixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+	m    int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `n is accessed with sync/atomic`
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `n is accessed with sync/atomic`
+}
+
+func (c *counter) goodRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) wrapper() int64 {
+	// The atomic.Int64 wrapper cannot be accessed plainly; nothing to
+	// report.
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func (c *counter) plainOnly() int64 {
+	// Never touched atomically: plain access is fine.
+	c.m++
+	return c.m
+}
+
+var ready int32
+
+func setReady() { atomic.StoreInt32(&ready, 1) }
+
+func isReady() bool {
+	return ready == 1 // want `ready is accessed with sync/atomic`
+}

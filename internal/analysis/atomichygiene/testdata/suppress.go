@@ -1,0 +1,5 @@
+package atomicfixture
+
+func (c *counter) construct() {
+	c.n = 42 //npblint:ignore atomichygiene pre-spawn initialization, no concurrent accessors yet
+}

@@ -1,0 +1,128 @@
+// Package ctxpropagate enforces the cancellation contract of the
+// resilience work: a context handed to an exported entry point must
+// actually thread through it.
+//
+// The run controller cancels stuck cells by context; that only works if
+// every long-running exported function that accepts a ctx either checks
+// it, passes it on, or wires it to the team (WatchContext). Two shapes
+// are diagnosed:
+//
+//  1. An exported function or method with a context.Context parameter
+//     that its body never mentions — the caller's deadline and
+//     cancellation are silently dropped.
+//  2. A call to context.Background() or context.TODO() inside a
+//     function that already has a ctx parameter in scope — a fresh
+//     root context severs the chain the caller set up.
+//
+// An intentionally detached context (a cleanup that must outlive the
+// request) is suppressed with `//npblint:ignore ctxpropagate <reason>`.
+package ctxpropagate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"npbgo/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc: "flag exported funcs that drop an incoming context.Context and " +
+		"context.Background()/TODO() calls where a ctx is already in scope",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isContextParam reports whether field's type is context.Context.
+func isContextType(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && analysis.IsNamed(named, "context", "Context")
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Collect the ctx parameters.
+	var ctxParams []*ast.Ident
+	hasCtx := false
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if !isContextType(pass, field.Type) {
+				continue
+			}
+			hasCtx = true
+			ctxParams = append(ctxParams, field.Names...)
+		}
+	}
+	if !hasCtx {
+		return
+	}
+
+	// Shape 2: fresh root contexts under an incoming ctx.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call)
+		if ok && pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf("context.%s() creates a fresh root inside %s, which already receives a ctx; "+
+					"thread the incoming context instead", name, fn.Name.Name),
+			})
+		}
+		return true
+	})
+
+	// Shape 1: exported entry points that never mention their ctx.
+	if !fn.Name.IsExported() {
+		return
+	}
+	for _, param := range ctxParams {
+		if param.Name == "_" {
+			// An explicitly blanked ctx is still a dropped contract on
+			// an exported API.
+			pass.Report(analysis.Diagnostic{
+				Pos:     param.Pos(),
+				Message: fmt.Sprintf("exported %s blanks its context.Context parameter; thread it or drop it from the signature", fn.Name.Name),
+			})
+			continue
+		}
+		obj := pass.TypesInfo.Defs[param]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if ok && pass.TypesInfo.Uses[id] == obj {
+				used = true
+				return false
+			}
+			return !used
+		})
+		if !used {
+			pass.Report(analysis.Diagnostic{
+				Pos: param.Pos(),
+				Message: fmt.Sprintf("exported %s takes ctx but never uses it; the caller's cancellation and deadline are dropped",
+					fn.Name.Name),
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/ctxpropagate"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, ctxpropagate.Analyzer, "testdata")
+}

@@ -1,0 +1,48 @@
+package ctxfixture
+
+import "context"
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func Dropped(ctx context.Context, n int) int { // want `exported Dropped takes ctx but never uses it`
+	return n * 2
+}
+
+func Threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func internal(ctx context.Context, n int) int {
+	// Unexported helpers are not part of the cancellation contract.
+	return n
+}
+
+func Blank(_ context.Context, n int) int { // want `exported Blank blanks its context.Context parameter`
+	return n
+}
+
+func Detached(ctx context.Context) error {
+	bg := context.Background() // want `context.Background\(\) creates a fresh root inside Detached`
+	_ = bg
+	return work(ctx)
+}
+
+func Todo(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return work(context.TODO()) // want `context.TODO\(\) creates a fresh root inside Todo`
+}
+
+type Server struct{}
+
+func (s *Server) Serve(ctx context.Context) error {
+	return work(ctx)
+}
+
+func (s *Server) Stop(ctx context.Context) error { // want `exported Stop takes ctx but never uses it`
+	return nil
+}

@@ -1,0 +1,11 @@
+package ctxfixture
+
+import "context"
+
+func Cleanup(ctx context.Context) error {
+	detached := context.Background() //npblint:ignore ctxpropagate cleanup must outlive the request's context
+	if err := work(ctx); err != nil {
+		return err
+	}
+	return work(detached)
+}

@@ -228,15 +228,45 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// RunConfig tunes a driver run beyond the analyzer list.
+type RunConfig struct {
+	// Known is the full analyzer catalog (independent of which
+	// analyzers were selected for this run). When non-empty,
+	// //npblint:ignore comments naming an analyzer outside it are
+	// reported as findings instead of being silently accepted.
+	Known []string
+	// UnusedIgnores enables the warn-only suppression audit: ignore
+	// entries that suppressed nothing are returned as warnings
+	// (second return value of RunConfigured), never as findings.
+	UnusedIgnores bool
+}
+
 // Run applies every analyzer to every package, filters the diagnostics
 // through //npblint:ignore suppression comments, and returns the
 // surviving findings sorted by position. Analyzer runtime errors are
 // reported as errors, not findings.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var findings []Finding
+	findings, _, err := RunConfigured(pkgs, analyzers, RunConfig{})
+	return findings, err
+}
+
+// RunConfigured is Run with a RunConfig: it additionally validates
+// suppression analyzer names against cfg.Known and, when
+// cfg.UnusedIgnores is set, returns warn-only findings for stale
+// suppressions as the second value. Warnings never fail a run; they are
+// advisory output for the suppression audit.
+func RunConfigured(pkgs []*Package, analyzers []*analysis.Analyzer, cfg RunConfig) (findings, warnings []Finding, err error) {
+	known := make(map[string]bool, len(cfg.Known))
+	for _, n := range cfg.Known {
+		known[n] = true
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
-		sup := scanSuppressions(pkg)
-		findings = append(findings, sup.malformed...)
+		sup := scanSuppressions(pkg, known)
+		findings = append(findings, sup.invalid...)
 		for _, a := range analyzers {
 			var diags []analysis.Diagnostic
 			pass := &analysis.Pass{
@@ -248,7 +278,7 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
@@ -258,9 +288,18 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 		}
+		if cfg.UnusedIgnores {
+			warnings = append(warnings, sup.unused(ran)...)
+		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sortFindings(findings)
+	sortFindings(warnings)
+	return findings, warnings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -269,5 +308,4 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }

@@ -1,7 +1,10 @@
 package driver
 
 import (
+	"fmt"
+	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -15,13 +18,29 @@ import (
 // reported, so suppressions stay auditable.
 const ignorePrefix = "//npblint:ignore"
 
+// ignoreEntry is one analyzer name of one suppression comment. A
+// comment naming several analyzers produces several entries so the
+// unused-suppression audit can point at the precise stale name.
+type ignoreEntry struct {
+	name string // analyzer name, or "all"
+	pos  token.Position
+	used bool
+}
+
 // suppressions indexes the ignore comments of one package.
 type suppressions struct {
-	// byLine maps file:line to the analyzer names suppressed there.
-	byLine map[fileLine][]string
-	// malformed holds driver-level findings for ignore comments with
-	// no analyzer name or no reason.
-	malformed []Finding
+	// byLine maps file:line to the ignore entries anchored there.
+	byLine map[fileLine][]*ignoreEntry
+	// entries holds every entry in scan order, for the unused audit.
+	entries []*ignoreEntry
+	// invalid holds driver-level findings for ignore comments that are
+	// malformed or name an analyzer outside the known catalog.
+	invalid []Finding
+	// generated marks files carrying the standard `Code generated ...
+	// DO NOT EDIT.` header. Suppressions inside them still apply, but
+	// the unused audit skips them: the fix for a stale suppression is
+	// editing the generator, not the file.
+	generated map[string]bool
 }
 
 type fileLine struct {
@@ -30,9 +49,17 @@ type fileLine struct {
 }
 
 // scanSuppressions collects every //npblint:ignore comment in pkg.
-func scanSuppressions(pkg *Package) *suppressions {
-	sup := &suppressions{byLine: make(map[fileLine][]string)}
+// known, when non-empty, is the full analyzer catalog; entry names
+// outside it (other than the "all" wildcard) are reported as invalid.
+func scanSuppressions(pkg *Package, known map[string]bool) *suppressions {
+	sup := &suppressions{
+		byLine:    make(map[fileLine][]*ignoreEntry),
+		generated: make(map[string]bool),
+	}
 	for _, f := range pkg.Files {
+		if ast.IsGenerated(f) {
+			sup.generated[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
 		for _, group := range f.Comments {
 			for _, c := range group.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
@@ -42,7 +69,7 @@ func scanSuppressions(pkg *Package) *suppressions {
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 				names, reason, _ := strings.Cut(rest, " ")
 				if names == "" || strings.TrimSpace(reason) == "" {
-					sup.malformed = append(sup.malformed, Finding{
+					sup.invalid = append(sup.invalid, Finding{
 						Analyzer: "npblint",
 						Pos:      pos,
 						Message:  "malformed suppression: want //npblint:ignore <analyzer> <reason>",
@@ -50,23 +77,72 @@ func scanSuppressions(pkg *Package) *suppressions {
 					continue
 				}
 				k := fileLine{pos.Filename, pos.Line}
-				sup.byLine[k] = append(sup.byLine[k], strings.Split(names, ",")...)
+				for _, name := range strings.Split(names, ",") {
+					if len(known) > 0 && name != "all" && !known[name] {
+						sup.invalid = append(sup.invalid, Finding{
+							Analyzer: "npblint",
+							Pos:      pos,
+							Message: fmt.Sprintf("suppression names unknown analyzer %q (known: %s)",
+								name, knownList(known)),
+						})
+						continue
+					}
+					e := &ignoreEntry{name: name, pos: pos}
+					sup.byLine[k] = append(sup.byLine[k], e)
+					sup.entries = append(sup.entries, e)
+				}
 			}
 		}
 	}
 	return sup
 }
 
+// knownList renders the catalog for the unknown-name diagnostic.
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 // suppressed reports whether a diagnostic from the named analyzer at
 // pos is covered by an ignore comment on the same line or the line
-// directly above.
+// directly above, and marks the covering entries used.
 func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	hit := false
 	for _, line := range [...]int{pos.Line, pos.Line - 1} {
-		for _, name := range s.byLine[fileLine{pos.Filename, line}] {
-			if name == analyzer || name == "all" {
-				return true
+		for _, e := range s.byLine[fileLine{pos.Filename, line}] {
+			if e.name == analyzer || e.name == "all" {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns warn-only findings for ignore entries that suppressed
+// nothing during the run. ran is the set of analyzers that actually
+// executed: an entry naming an analyzer that did not run is not
+// reported (nothing can be concluded about it), and neither are entries
+// in generated files. The "all" wildcard is audited whenever anything
+// ran.
+func (s *suppressions) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, e := range s.entries {
+		if e.used || s.generated[e.pos.Filename] {
+			continue
+		}
+		if e.name != "all" && !ran[e.name] {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "npblint",
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("unused suppression: no %s diagnostic is anchored to this line", e.name),
+		})
+	}
+	return out
 }

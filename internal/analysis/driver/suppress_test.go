@@ -1,0 +1,185 @@
+package driver
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"npbgo/internal/analysis"
+)
+
+// callAnalyzer reports every call to the function named target; the
+// suppression tests pair two of them ("boomlint" on boom(), "zaplint"
+// on zap()) against the fixtures in testdata/suppress.
+func callAnalyzer(name, target string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging calls to " + target,
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == target {
+						pass.Report(analysis.Diagnostic{Pos: call.Pos(), Message: target + " called"})
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func loadSuppressFixture(t *testing.T) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "suppress")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	pkg, err := LoadFiles(dir, "npbgo/internal/analysis/fixture/suppress", files)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return pkg
+}
+
+// key renders a finding as "file:line analyzer" with the path reduced
+// to its base name, so expectations are independent of the checkout
+// location.
+func key(f Finding) string {
+	return filepath.Base(f.Pos.Filename) + ":" + itoa(f.Pos.Line) + " " + f.Analyzer
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func keys(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = key(f)
+	}
+	return out
+}
+
+func wantEqual(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("%s mismatch:\ngot:\n  %s\nwant:\n  %s",
+			what, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+func TestSuppressionPlacement(t *testing.T) {
+	pkg := loadSuppressFixture(t)
+	boom := callAnalyzer("boomlint", "boom")
+	zap := callAnalyzer("zaplint", "zap")
+	cfg := RunConfig{Known: []string{"boomlint", "zaplint"}, UnusedIgnores: true}
+
+	findings, warnings, err := RunConfigured([]*Package{pkg}, []*analysis.Analyzer{boom, zap}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-line and line-above suppressions hold (lines 6 and 9 of
+	// a.go are absent); a comment two lines above does not reach line
+	// 13; the boomlint,zaplint comment on line 15 silences both
+	// analyzers; the zaplint-only comment on line 17 does not cover
+	// boomlint. unknown.go surfaces the unknown-name and missing-reason
+	// diagnostics alongside the then-unsuppressed findings, and the
+	// generated file's suppressions still apply.
+	wantEqual(t, "findings", keys(findings), []string{
+		"a.go:13 boomlint",
+		"a.go:17 boomlint",
+		"unknown.go:3 boomlint",
+		"unknown.go:3 npblint",
+		"unknown.go:5 boomlint",
+		"unknown.go:5 npblint",
+	})
+	for _, f := range findings {
+		if key(f) == "unknown.go:3 npblint" && !strings.Contains(f.Message, `unknown analyzer "nosuchlint"`) {
+			t.Errorf("unknown-name diagnostic has wrong message: %s", f.Message)
+		}
+		if key(f) == "unknown.go:5 npblint" && !strings.Contains(f.Message, "malformed suppression") {
+			t.Errorf("missing-reason diagnostic has wrong message: %s", f.Message)
+		}
+	}
+	// Stale entries: the orphaned line-11 boomlint comment and the
+	// zaplint name on line 17. The generated file's stale boomlint
+	// entry is exempt.
+	wantEqual(t, "warnings", keys(warnings), []string{
+		"a.go:11 npblint",
+		"a.go:17 npblint",
+	})
+	for _, w := range warnings {
+		if !strings.Contains(w.Message, "unused suppression") {
+			t.Errorf("warning has wrong message: %s", w.Message)
+		}
+	}
+}
+
+func TestUnusedIgnoresOnlyAuditsRanAnalyzers(t *testing.T) {
+	pkg := loadSuppressFixture(t)
+	boom := callAnalyzer("boomlint", "boom")
+	cfg := RunConfig{Known: []string{"boomlint", "zaplint"}, UnusedIgnores: true}
+
+	_, warnings, err := RunConfigured([]*Package{pkg}, []*analysis.Analyzer{boom}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zaplint did not run, so nothing can be concluded about its
+	// entries (lines 17 and 19); only boomlint's orphaned comment on
+	// line 11 is reported.
+	wantEqual(t, "warnings", keys(warnings), []string{"a.go:11 npblint"})
+}
+
+func TestLegacyRunSkipsNameValidation(t *testing.T) {
+	pkg := loadSuppressFixture(t)
+	boom := callAnalyzer("boomlint", "boom")
+
+	// The zero RunConfig (what analysistest and plain Run use) has no
+	// catalog, so fixtures naming other analyzers stay loadable.
+	findings, err := Run([]*Package{pkg}, []*analysis.Analyzer{boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "unknown analyzer") {
+			t.Errorf("unexpected unknown-name diagnostic without a catalog: %s", f)
+		}
+	}
+	// With nosuchlint accepted, unknown.go line 3 is "suppressed" by a
+	// name that matches nothing, so the boomlint finding still appears.
+	got := keys(findings)
+	want := []string{
+		"a.go:13 boomlint",
+		"a.go:17 boomlint",
+		"unknown.go:3 boomlint",
+		"unknown.go:5 boomlint",
+		"unknown.go:5 npblint",
+	}
+	wantEqual(t, "findings", got, want)
+}

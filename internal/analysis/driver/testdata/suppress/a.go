@@ -1,0 +1,19 @@
+package suppresstest
+
+func boom() int { return 0 }
+func zap() int  { return 0 }
+
+var sameLine = boom() //npblint:ignore boomlint suppressed on the same line
+
+//npblint:ignore boomlint suppressed from the line above
+var lineAbove = boom()
+
+//npblint:ignore boomlint two lines above the use: must not suppress
+
+var twoAbove = boom()
+
+var multi = boom() + zap() //npblint:ignore boomlint,zaplint one comment suppresses both analyzers
+
+var zapOnly = boom() //npblint:ignore zaplint wrong analyzer for this line
+
+var notRun = zap() //npblint:ignore zaplint audited only when zaplint runs

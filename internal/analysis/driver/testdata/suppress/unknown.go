@@ -1,0 +1,5 @@
+package suppresstest
+
+var unknown = boom() //npblint:ignore nosuchlint typo in the analyzer name
+
+var bare = boom() //npblint:ignore boomlint

@@ -41,7 +41,14 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // findings to w, and return the number of findings. The VetxOutput file
 // is always written (empty — the suite exports no facts); go vet
 // requires it to exist for build caching.
-func RunUnit(w io.Writer, configFile string, analyzers []*analysis.Analyzer) (int, error) {
+//
+// cfg.Known flows through so suppression comments naming unknown
+// analyzers are diagnosed, but cfg.UnusedIgnores is ignored here: go
+// vet hands over one compilation unit at a time, and a suppression in a
+// shared file is legitimately unused in some units (the non-test build
+// of a package whose finding only exists in the test variant), so the
+// audit is only meaningful in the standalone whole-module mode.
+func RunUnit(w io.Writer, configFile string, analyzers []*analysis.Analyzer, rcfg RunConfig) (int, error) {
 	data, err := os.ReadFile(configFile)
 	if err != nil {
 		return 0, err
@@ -84,7 +91,8 @@ func RunUnit(w io.Writer, configFile string, analyzers []*analysis.Analyzer) (in
 		}
 		return 0, err
 	}
-	findings, err := Run([]*Package{pkg}, analyzers)
+	rcfg.UnusedIgnores = false
+	findings, _, err := RunConfigured([]*Package{pkg}, analyzers, rcfg)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"npbgo/internal/analysis/analysistest"
+	"npbgo/internal/analysis/hotalloc"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata")
+}

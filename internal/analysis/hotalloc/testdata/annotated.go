@@ -1,0 +1,35 @@
+package hotallocfixture
+
+//npblint:hot hoisted region body, reused every iteration
+func hotFunc(n int) []float64 {
+	return make([]float64, n) // want `make allocates in //npblint:hot function`
+}
+
+func hotStmt(n int) {
+	//npblint:hot steady-state path, executed once per iteration
+	buf := make([]float64, n) // want `make allocates in //npblint:hot statement`
+	_ = buf
+	cold := make([]float64, n)
+	_ = cold
+}
+
+// hoistedBody is the setup idiom the benchmarks use: the annotated
+// assignment builds the closure once, so the literal itself is fine,
+// but its interior runs every iteration and is audited as hot.
+type hoistedBody struct {
+	body func(id int)
+}
+
+func (h *hoistedBody) build(n int) {
+	//npblint:hot hoisted region body, reused every iteration
+	h.body = func(id int) {
+		scratch := make([]float64, n) // want `make allocates in //npblint:hot hoisted body`
+		_ = scratch
+	}
+
+	// Unannotated: neither the literal nor its interior is hot.
+	h.body = func(id int) {
+		scratch := make([]float64, n)
+		_ = scratch
+	}
+}

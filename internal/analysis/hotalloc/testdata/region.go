@@ -1,0 +1,56 @@
+package hotallocfixture
+
+import (
+	"fmt"
+
+	"npbgo/internal/team"
+)
+
+func regionAllocs(tm *team.Team, out []float64, n int) {
+	tm.Run(func(id int) {
+		buf := make([]float64, n) // want `make allocates in parallel region body`
+		out[0] = buf[0]
+	})
+	tm.ForBlock(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := new(float64) // want `new allocates in parallel region body`
+			out[i] = *p
+		}
+	})
+	sum := tm.ReduceSum(0, n, func(lo, hi int) float64 {
+		s := []float64{0} // want `slice literal allocates in parallel region body`
+		for i := lo; i < hi; i++ {
+			s = append(s, out[i]) // want `append may grow its backing array in parallel region body`
+		}
+		return s[0]
+	})
+	_ = sum
+	tm.For(0, n, func(i int) {
+		m := map[int]int{} // want `map literal allocates in parallel region body`
+		out[i] = float64(m[i])
+	})
+	// Setup allocations outside any hot region are fine.
+	cold := make([]float64, n)
+	_ = cold
+}
+
+func nestedClosure(tm *team.Team, out []float64, n int) {
+	tm.Run(func(id int) {
+		f := func() int { return id } // want `function literal allocates a closure per execution of parallel region body`
+		out[id] = float64(f())
+	})
+}
+
+func boxing(tm *team.Team, out []string) {
+	tm.Run(func(id int) {
+		out[id] = fmt.Sprintf("w%d", id) // want `argument is boxed into an interface parameter in parallel region body`
+	})
+}
+
+var sink any
+
+func conversion(tm *team.Team) {
+	tm.Run(func(id int) {
+		sink = any(id) // want `conversion boxes its operand into an interface in parallel region body`
+	})
+}

@@ -1,0 +1,10 @@
+package hotallocfixture
+
+import "npbgo/internal/team"
+
+func suppressedSetup(tm *team.Team, n int) {
+	tm.Run(func(id int) {
+		buf := make([]float64, n) //npblint:ignore hotalloc first-touch initialization, runs once before the timed loop
+		_ = buf
+	})
+}

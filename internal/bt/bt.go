@@ -118,7 +118,7 @@ func (b *Benchmark) Run() Result {
 
 	start := time.Now()
 	for step := 1; step <= b.niter; step++ {
-		b.adi(tm)
+		b.Iter(tm)
 	}
 	elapsed := time.Since(start)
 

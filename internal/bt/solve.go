@@ -60,20 +60,22 @@ func (b *Benchmark) assembleLHS(ls *lineScratch, isize int, ds *dirSpec) {
 }
 
 // solveLine runs the block Thomas elimination over one line whose rhs
-// 5-vectors are located by rhsAt(l).
-func (b *Benchmark) solveLine(ls *lineScratch, isize int, rhsAt func(l int) []float64) {
-	binvcrhs(blk(ls.bb, 0), blk(ls.cc, 0), rhsAt(0))
+// 5-vectors live at rhs[base+l*stride:]. The m-fastest layout makes
+// every sweep direction affine in l, so a base and stride replace the
+// per-line accessor closure the Fortran arrays never needed either.
+func (b *Benchmark) solveLine(ls *lineScratch, isize int, rhs []float64, base, stride int) {
+	binvcrhs(blk(ls.bb, 0), blk(ls.cc, 0), rhs[base:])
 	for l := 1; l <= isize-1; l++ {
-		matvecSub(blk(ls.aa, l), rhsAt(l-1), rhsAt(l))
+		matvecSub(blk(ls.aa, l), rhs[base+(l-1)*stride:], rhs[base+l*stride:])
 		matmulSub(blk(ls.aa, l), blk(ls.cc, l-1), blk(ls.bb, l))
-		binvcrhs(blk(ls.bb, l), blk(ls.cc, l), rhsAt(l))
+		binvcrhs(blk(ls.bb, l), blk(ls.cc, l), rhs[base+l*stride:])
 	}
-	matvecSub(blk(ls.aa, isize), rhsAt(isize-1), rhsAt(isize))
+	matvecSub(blk(ls.aa, isize), rhs[base+(isize-1)*stride:], rhs[base+isize*stride:])
 	matmulSub(blk(ls.aa, isize), blk(ls.cc, isize-1), blk(ls.bb, isize))
-	binvrhs(blk(ls.bb, isize), rhsAt(isize))
+	binvrhs(blk(ls.bb, isize), rhs[base+isize*stride:])
 	for l := isize - 1; l >= 0; l-- {
-		r := rhsAt(l)
-		rn := rhsAt(l + 1)
+		r := rhs[base+l*stride:]
+		rn := rhs[base+(l+1)*stride:]
 		cm := blk(ls.cc, l)
 		for m := 0; m < 5; m++ {
 			r[m] -= cm[m+0]*rn[0] + cm[m+5]*rn[1] + cm[m+10]*rn[2] +
@@ -98,10 +100,7 @@ func (b *Benchmark) xSolve(tm *team.Team) {
 					b.buildJacobians(ls, i, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
 				}
 				b.assembleLHS(ls, isize, &ds)
-				b.solveLine(ls, isize, func(l int) []float64 {
-					off := b.f.FAt(0, l, j, k)
-					return b.f.Rhs[off : off+5]
-				})
+				b.solveLine(ls, isize, b.f.Rhs, b.f.FAt(0, 0, j, k), 5)
 			}
 		}
 	})
@@ -122,10 +121,7 @@ func (b *Benchmark) ySolve(tm *team.Team) {
 					b.buildJacobians(ls, j, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
 				}
 				b.assembleLHS(ls, jsize, &ds)
-				b.solveLine(ls, jsize, func(l int) []float64 {
-					off := b.f.FAt(0, i, l, k)
-					return b.f.Rhs[off : off+5]
-				})
+				b.solveLine(ls, jsize, b.f.Rhs, b.f.FAt(0, i, 0, k), 5*n)
 			}
 		}
 	})
@@ -147,10 +143,7 @@ func (b *Benchmark) zSolve(tm *team.Team) {
 					b.buildJacobians(ls, k, b.f.UAt(0, i, j, k), b.f.SAt(i, j, k), ds.cv)
 				}
 				b.assembleLHS(ls, ksize, &ds)
-				b.solveLine(ls, ksize, func(l int) []float64 {
-					off := b.f.FAt(0, i, j, l)
-					return b.f.Rhs[off : off+5]
-				})
+				b.solveLine(ls, ksize, b.f.Rhs, b.f.FAt(0, i, j, 0), 5*n*n)
 			}
 		}
 	})
@@ -175,4 +168,13 @@ func (b *Benchmark) phase(name string, fn func()) {
 	b.timers.Start(name)
 	fn()
 	b.timers.Stop(name)
+}
+
+// Iter advances one steady-state time step on tm, whose Size must equal
+// the thread count the Benchmark was built with. Unlike the fully
+// hoisted kernels, BT still builds a handful of small phase/region
+// closures per step; the per-step count is pinned by the
+// internal/allocgate budget rather than driven to zero.
+func (b *Benchmark) Iter(tm *team.Team) {
+	b.adi(tm)
 }

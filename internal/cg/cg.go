@@ -66,6 +66,32 @@ type Benchmark struct {
 	a      []float64
 
 	x, z, pv, q, r []float64
+
+	// Steady-state machinery: the region bodies below are built once by
+	// New and reused by every iteration, because For/ForBlock/ReduceSum
+	// wrap their body in a fresh closure per call and a literal closure
+	// capturing loop-variant scalars allocates per creation. The bodies
+	// instead read the per-iteration scalars (alpha, beta, scaleInv) and
+	// the current team from the Benchmark, keeping the timed loop free of
+	// heap allocation (enforced by internal/allocgate).
+	tm       *team.Team // team of the current Run/Iter
+	alpha    float64    // CG step length, set each inner iteration
+	beta     float64    // CG direction update, set each inner iteration
+	scaleInv float64    // 1/||z|| for normalize
+	dotA     []float64  // operands of the pending dot product
+	dotB     []float64
+
+	initBody    func(id int)
+	spmvPQBody  func(id int)
+	spmvZRBody  func(id int)
+	axpyBody    func(id int)
+	pUpdBody    func(id int)
+	residBody   func(id int)
+	scaleBody   func(id int)
+	dotBody     func(id int)
+	ballastBody func(id int)
+	conjFn      func() float64
+	normFn      func() float64
 }
 
 // Option configures optional benchmark behaviour.
@@ -137,7 +163,126 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	b.pv = make([]float64, n)
 	b.q = make([]float64, n)
 	b.r = make([]float64, n)
+	b.buildBodies()
 	return b, nil
+}
+
+// buildBodies constructs every parallel-region body once. Each is a
+// func(id int) handed straight to Team.Run; block bounds come from
+// team.Block inside the body and loop-variant scalars from Benchmark
+// fields, so no closure is created in the timed loop.
+func (b *Benchmark) buildBodies() {
+	n := b.p.na
+
+	//npblint:hot vector init, constructed once and reused every conjGrad call
+	b.initBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		x, z, p, q, r := b.x, b.z, b.pv, b.q, b.r
+		for i := lo; i < hi; i++ {
+			q[i] = 0
+			z[i] = 0
+			r[i] = x[i]
+			p[i] = x[i]
+		}
+	}
+
+	//npblint:hot sparse mat-vec q = A p, the kernel of every inner iteration
+	b.spmvPQBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		rowstr, colidx, a := b.rowstr, b.colidx, b.a
+		in, out := b.pv, b.q
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for k := rowstr[i]; k < rowstr[i+1]; k++ {
+				sum += a[k] * in[colidx[k]]
+			}
+			out[i] = sum
+		}
+	}
+
+	//npblint:hot sparse mat-vec r = A z for the residual norm
+	b.spmvZRBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		rowstr, colidx, a := b.rowstr, b.colidx, b.a
+		in, out := b.z, b.r
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for k := rowstr[i]; k < rowstr[i+1]; k++ {
+				sum += a[k] * in[colidx[k]]
+			}
+			out[i] = sum
+		}
+	}
+
+	//npblint:hot z/r update with the iteration's alpha read from the Benchmark
+	b.axpyBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		alpha := b.alpha
+		z, r, p, q := b.z, b.r, b.pv, b.q
+		for i := lo; i < hi; i++ {
+			z[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+		}
+	}
+
+	//npblint:hot search-direction update with the iteration's beta
+	b.pUpdBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		beta := b.beta
+		p, r := b.pv, b.r
+		for i := lo; i < hi; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+
+	//npblint:hot partial sums of ||x - A z||^2 into the team's reduction slots
+	b.residBody = func(id int) {
+		tm := b.tm
+		lo, hi := team.Block(0, n, tm.Size(), id)
+		x, r := b.x, b.r
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			d := x[i] - r[i]
+			s += d * d
+		}
+		*tm.Partial(id) = s
+	}
+
+	//npblint:hot x = z/||z|| with the norm's reciprocal read from the Benchmark
+	b.scaleBody = func(id int) {
+		lo, hi := team.Block(0, n, b.tm.Size(), id)
+		inv := b.scaleInv
+		x, z := b.x, b.z
+		for i := lo; i < hi; i++ {
+			x[i] = inv * z[i]
+		}
+	}
+
+	//npblint:hot shared dot-product body over the operands staged in dotA/dotB
+	b.dotBody = func(id int) {
+		tm := b.tm
+		u, v := b.dotA, b.dotB
+		lo, hi := team.Block(0, len(u), tm.Size(), id)
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += u[i] * v[i]
+		}
+		*tm.Partial(id) = s
+	}
+
+	//npblint:hot per-worker ballast streaming (no-op without WithBallast)
+	b.ballastBody = func(id int) {
+		bal := b.ballast[id]
+		s := 0.0
+		for i := range bal {
+			s += bal[i]
+			bal[i] = s * 0.5
+		}
+		*b.tm.Partial(id) = s
+	}
+
+	b.conjFn = func() float64 { return b.conjGrad() }
+	b.normFn = func() float64 { b.normalize(); return 0 }
 }
 
 // NNZ returns the number of stored matrix nonzeros.
@@ -165,6 +310,7 @@ func (b *Benchmark) Run() Result {
 	if b.warmup {
 		tm.Warmup(5_000_000)
 	}
+	b.tm = tm
 
 	n := b.p.na
 
@@ -172,8 +318,8 @@ func (b *Benchmark) Run() Result {
 	for i := range b.x {
 		b.x[i] = 1.0
 	}
-	b.conjGrad(tm)
-	b.normalize(tm)
+	b.conjGrad()
+	b.normalize()
 
 	// Reset and time.
 	for i := range b.x {
@@ -186,18 +332,15 @@ func (b *Benchmark) Run() Result {
 		if tm.Cancelled() {
 			break
 		}
-		fault.Maybe("cg.iter")
-		b.touchBallast(tm)
-		rnorm = b.timed("t_conj_grad", func() float64 { return b.conjGrad(tm) })
-		if tm.Cancelled() {
-			// The reductions of a cancelled team return 0, so rnorm and
-			// any zeta derived from it would be garbage; keep the last
-			// complete iteration's values instead.
+		z, rn, ok := b.Iter(tm)
+		rnorm = rn
+		if !ok {
+			// The reductions of a cancelled team return 0, so zeta
+			// derived from them would be garbage; keep the last complete
+			// iteration's value instead.
 			break
 		}
-		norm1 := dotBlocked(tm, b.x, b.z)
-		zeta = b.p.shift + 1.0/norm1
-		b.timed("t_norm", func() float64 { b.normalize(tm); return 0 })
+		zeta = z
 	}
 	elapsed := time.Since(start)
 
@@ -242,108 +385,76 @@ func (b *Benchmark) timed(name string, fn func() float64) float64 {
 	return v
 }
 
+// Iter runs one timed outer iteration (conjGrad, the zeta update, and
+// the normalization) on tm, whose Size must equal the thread count the
+// Benchmark was built with. It returns the iteration's zeta and
+// residual norm; ok is false when the team was cancelled mid-iteration,
+// in which case zeta is meaningless. Iter is the steady-state hook the
+// allocation gate measures: after the first call it performs no heap
+// allocation.
+func (b *Benchmark) Iter(tm *team.Team) (zeta, rnorm float64, ok bool) {
+	b.tm = tm
+	fault.Maybe("cg.iter")
+	b.touchBallast()
+	rnorm = b.timed("t_conj_grad", b.conjFn)
+	if tm.Cancelled() {
+		return 0, rnorm, false
+	}
+	norm1 := b.dot(b.x, b.z)
+	zeta = b.p.shift + 1.0/norm1
+	b.timed("t_norm", b.normFn)
+	return zeta, rnorm, true
+}
+
 // touchBallast streams every worker through its ballast once, evicting
 // the benchmark's real working set from the caches (a no-op without
 // WithBallast).
-func (b *Benchmark) touchBallast(tm *team.Team) {
+func (b *Benchmark) touchBallast() {
 	if b.ballast == nil {
 		return
 	}
-	tm.Run(func(id int) {
-		bal := b.ballast[id]
-		s := 0.0
-		for i := range bal {
-			s += bal[i]
-			bal[i] = s * 0.5
-		}
-		*tm.Partial(id) = s
-	})
+	b.tm.Run(b.ballastBody)
 }
 
 // normalize scales z to unit norm into x (end of each outer iteration).
-func (b *Benchmark) normalize(tm *team.Team) {
-	norm2 := dotBlocked(tm, b.z, b.z)
-	inv := 1.0 / math.Sqrt(norm2)
-	x, z := b.x, b.z
-	tm.ForBlock(0, len(x), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] = inv * z[i]
-		}
-	})
+func (b *Benchmark) normalize() {
+	norm2 := b.dot(b.z, b.z)
+	b.scaleInv = 1.0 / math.Sqrt(norm2)
+	b.tm.Run(b.scaleBody)
 }
 
 // conjGrad runs cgitmax CG iterations for the system A z = x and returns
 // the residual norm ||x - A z||, as cg.f's conj_grad.
-func (b *Benchmark) conjGrad(tm *team.Team) float64 {
-	n := b.p.na
-	x, z, p, q, r := b.x, b.z, b.pv, b.q, b.r
+func (b *Benchmark) conjGrad() float64 {
+	tm := b.tm
 
-	tm.ForBlock(0, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			q[i] = 0
-			z[i] = 0
-			r[i] = x[i]
-			p[i] = x[i]
-		}
-	})
-	rho := dotBlocked(tm, r, r)
+	tm.Run(b.initBody)
+	rho := b.dot(b.r, b.r)
 
 	for cgit := 1; cgit <= cgitmax; cgit++ {
-		b.spmv(tm, p, q)
-		d := dotBlocked(tm, p, q)
-		alpha := rho / d
-		tm.ForBlock(0, n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				z[i] += alpha * p[i]
-				r[i] -= alpha * q[i]
-			}
-		})
+		tm.Run(b.spmvPQBody)
+		d := b.dot(b.pv, b.q)
+		b.alpha = rho / d
+		tm.Run(b.axpyBody)
 		rho0 := rho
-		rho = dotBlocked(tm, r, r)
-		beta := rho / rho0
-		tm.ForBlock(0, n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				p[i] = r[i] + beta*p[i]
-			}
-		})
+		rho = b.dot(b.r, b.r)
+		b.beta = rho / rho0
+		tm.Run(b.pUpdBody)
 	}
 
 	// rnorm = ||x - A z||.
-	b.spmv(tm, z, r)
-	sum := tm.ReduceSum(0, n, func(lo, hi int) float64 {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			d := x[i] - r[i]
-			s += d * d
-		}
-		return s
-	})
-	return math.Sqrt(sum)
+	tm.Run(b.spmvZRBody)
+	tm.Run(b.residBody)
+	return math.Sqrt(tm.PartialSum())
 }
 
-// spmv computes out = A * in with rows statically split over the team —
-// the irregular-access kernel that defines CG's memory behaviour.
-func (b *Benchmark) spmv(tm *team.Team, in, out []float64) {
-	rowstr, colidx, a := b.rowstr, b.colidx, b.a
-	tm.ForBlock(0, b.p.na, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sum := 0.0
-			for k := rowstr[i]; k < rowstr[i+1]; k++ {
-				sum += a[k] * in[colidx[k]]
-			}
-			out[i] = sum
-		}
-	})
-}
-
-// dotBlocked is a team-parallel dot product with deterministic partial
-// combination.
-func dotBlocked(tm *team.Team, a, b []float64) float64 {
-	return tm.ReduceSum(0, len(a), func(lo, hi int) float64 {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
-		}
-		return s
-	})
+// dot is a team-parallel dot product with deterministic partial
+// combination: operands are staged on the Benchmark for the prebuilt
+// body, partials land in the team's reduction slots, and PartialSum
+// combines them in worker order — the same arithmetic as
+// Team.ReduceSum without its per-call closure.
+func (b *Benchmark) dot(u, v []float64) float64 {
+	b.dotA, b.dotB = u, v
+	b.tm.Run(b.dotBody)
+	return b.tm.PartialSum()
 }

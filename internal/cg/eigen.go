@@ -61,18 +61,20 @@ func EstimateSmallestEigenvalue(n int, rowstr, colidx []int, a []float64,
 		x: make([]float64, n), z: make([]float64, n),
 		pv: make([]float64, n), q: make([]float64, n), r: make([]float64, n),
 	}
+	b.buildBodies()
 	tm := team.New(threads)
 	defer tm.Close()
+	b.tm = tm
 
 	for i := range b.x {
 		b.x[i] = 1.0
 	}
 	for it := 0; it < outerIters; it++ {
-		res.Residual = b.conjGrad(tm)
-		norm1 := dotBlocked(tm, b.x, b.z)
+		res.Residual = b.conjGrad()
+		norm1 := b.dot(b.x, b.z)
 		res.Eigenvalue = shift + 1.0/norm1
 		res.History = append(res.History, res.Eigenvalue)
-		b.normalize(tm)
+		b.normalize()
 	}
 	if math.IsNaN(res.Eigenvalue) {
 		return res, fmt.Errorf("cg: iteration diverged (NaN estimate)")

@@ -46,15 +46,26 @@ var reference = map[byte][2]float64{
 	'C': {4.764367927995374e+4, -8.084072988043731e+4},
 }
 
-// Benchmark is one configured EP instance.
+// Benchmark is one configured EP instance. All buffers a run needs —
+// per-worker accumulation states, vranlc scratch, the hoisted region
+// body — are allocated once here, so the batch sweep itself runs
+// allocation-free (gated at zero by internal/allocgate).
 type Benchmark struct {
 	Class   byte
 	m       int
+	nn      int // number of 2^mk batches
+	an      float64
 	threads int
 	ctx     context.Context // nil means not cancellable
 	rec     *obs.Recorder   // nil without WithObs
 	tr      *trace.Tracer   // nil without WithTrace
 	timers  *timer.Set      // nil without WithTimers
+
+	states []batchState // per-worker tallies, reset each Iter
+	x      [][]float64  // per-worker vranlc scratch, 2*nk doubles each
+	phases []string     // per-worker timer names when profiling
+	tm     *team.Team   // team of the current Iter, read by body
+	body   func(id int) // hoisted batch-sweep region body
 }
 
 // Option configures optional benchmark behaviour.
@@ -108,7 +119,60 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	for _, o := range opts {
 		o(b)
 	}
+	b.nn = 1 << (b.m - mk)
+	// an = a^(2*nk) mod 2^46: mk+1 squarings of a.
+	an := amult
+	for i := 0; i < mk+1; i++ {
+		randdp.Randlc(&an, an)
+	}
+	b.an = an
+	b.states = make([]batchState, threads)
+	b.x = make([][]float64, threads)
+	for id := range b.x {
+		b.x[id] = make([]float64, 2*nk)
+	}
+	if b.timers != nil {
+		b.phases = make([]string, threads)
+		for id := range b.phases {
+			b.phases[id] = timer.Worker("t_batch", id)
+		}
+	}
+	//npblint:hot per-worker batch sweep, constructed once and reused every run
+	b.body = func(id int) {
+		tm := b.tm
+		lo, hi := team.Block(0, b.nn, b.threads, id)
+		x := b.x[id]
+		st := &b.states[id]
+		phase := ""
+		if b.timers != nil {
+			phase = b.phases[id]
+		}
+		for kk := lo; kk < hi; kk++ {
+			if tm.Cancelled() {
+				return
+			}
+			fault.Maybe("ep.batch")
+			if phase != "" {
+				b.timers.Start(phase)
+			}
+			runBatch(kk, b.an, st, x)
+			if phase != "" {
+				b.timers.Stop(phase)
+			}
+		}
+	}
 	return b, nil
+}
+
+// Iter runs one steady-state pass over every batch on tm: the whole
+// timed section of EP, with no per-pass allocation. Run wraps it;
+// internal/allocgate measures it.
+func (b *Benchmark) Iter(tm *team.Team) {
+	b.tm = tm
+	for i := range b.states {
+		b.states[i] = batchState{}
+	}
+	tm.Run(b.body)
 }
 
 // Pairs returns the total number of random pairs the configured class
@@ -162,15 +226,6 @@ func runBatch(kk int, an float64, st *batchState, x []float64) {
 
 // Run executes the kernel and returns its result.
 func (b *Benchmark) Run() Result {
-	nn := 1 << (b.m - mk) // number of batches
-
-	// an = a^(2*nk) mod 2^46: mk+1 squarings of a.
-	an := amult
-	for i := 0; i < mk+1; i++ {
-		randdp.Randlc(&an, an)
-	}
-
-	states := make([]batchState, b.threads)
 	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
 	defer tm.Close()
 	if b.ctx != nil {
@@ -179,37 +234,17 @@ func (b *Benchmark) Run() Result {
 	}
 
 	start := time.Now()
-	tm.Run(func(id int) {
-		lo, hi := team.Block(0, nn, b.threads, id)
-		x := make([]float64, 2*nk)
-		phase := ""
-		if b.timers != nil {
-			phase = timer.Worker("t_batch", id)
-		}
-		for kk := lo; kk < hi; kk++ {
-			if tm.Cancelled() {
-				return
-			}
-			fault.Maybe("ep.batch")
-			if phase != "" {
-				b.timers.Start(phase)
-			}
-			runBatch(kk, an, &states[id], x)
-			if phase != "" {
-				b.timers.Stop(phase)
-			}
-		}
-	})
+	b.Iter(tm)
 	elapsed := time.Since(start)
 
 	var res Result
 	res.Elapsed = elapsed
 	res.Timers = b.timers
 	for id := 0; id < b.threads; id++ {
-		res.Sx += states[id].sx
-		res.Sy += states[id].sy
+		res.Sx += b.states[id].sx
+		res.Sy += b.states[id].sy
 		for l := 0; l < nq; l++ {
-			res.Q[l] += states[id].q[l]
+			res.Q[l] += b.states[id].q[l]
 		}
 	}
 	for l := 0; l < nq; l++ {

@@ -1,0 +1,146 @@
+package escape
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// canned is a trimmed slice of real `go build -gcflags=-m=2` output:
+// group headers, inlining chatter, duplicated escape lines with flow
+// explanations, a moved-to-heap site, and a does-not-escape
+// confirmation that must not be reported.
+const canned = `# npbgo/internal/ep
+internal/ep/ep.go:77:6: can inline WithContext with cost 17 as: func(context.Context) Option { return func literal }
+internal/ep/ep.go:41:36: map[byte][2]float64{...} escapes to heap:
+internal/ep/ep.go:41:36:   flow: {heap} = &{storage for map[byte][2]float64{...}}:
+internal/ep/ep.go:41:36:     from map[byte][2]float64{...} (spill) at internal/ep/ep.go:41:36
+internal/ep/ep.go:41:36: map[byte][2]float64{...} escapes to heap
+internal/ep/ep.go:78:9: func literal escapes to heap:
+internal/ep/ep.go:78:9:   flow: ~r0 = &{storage for func literal}:
+internal/ep/ep.go:78:9: func literal escapes to heap
+internal/ep/ep.go:120:2: moved to heap: probe:
+internal/ep/ep.go:120:2: moved to heap: probe
+internal/ep/ep.go:150:20: b does not escape
+# npbgo/internal/cg
+internal/cg/cg.go:201:14: make([]float64, n) escapes to heap:
+internal/cg/cg.go:201:14: make([]float64, n) escapes to heap
+`
+
+func TestParse(t *testing.T) {
+	recs := Parse(canned)
+	want := []Record{
+		{Pkg: "npbgo/internal/cg", File: "internal/cg/cg.go", Line: 201, Col: 14, Msg: "make([]float64, n) escapes to heap"},
+		{Pkg: "npbgo/internal/ep", File: "internal/ep/ep.go", Line: 41, Col: 36, Msg: "map[byte][2]float64{...} escapes to heap"},
+		{Pkg: "npbgo/internal/ep", File: "internal/ep/ep.go", Line: 78, Col: 9, Msg: "func literal escapes to heap"},
+		{Pkg: "npbgo/internal/ep", File: "internal/ep/ep.go", Line: 120, Col: 2, Msg: "moved to heap: probe"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("Parse returned %d records, want %d: %+v", len(recs), len(want), recs)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := Parse(canned)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"format":"npbgo/escape/v1"}`) {
+		t.Fatalf("report does not lead with the format header: %q", buf.String()[:60])
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d != %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	recs := Parse(canned)
+	rev := make([]Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Write output depends on input order")
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("Read accepted an empty report")
+	}
+	if _, err := Read(strings.NewReader(`{"format":"npbgo/escape/v0"}` + "\n")); err == nil {
+		t.Error("Read accepted a wrong format tag")
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("Read accepted a non-JSON header")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := Parse(canned)
+
+	// Identical reports: no deltas.
+	added, removed := Diff(base, base)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("self-diff produced deltas: +%v -%v", added, removed)
+	}
+
+	// A line shuffle of the same escapes is not a delta.
+	shifted := make([]Record, len(base))
+	copy(shifted, base)
+	for i := range shifted {
+		shifted[i].Line += 100
+	}
+	added, removed = Diff(base, shifted)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("line-shift diff produced deltas: +%v -%v", added, removed)
+	}
+
+	// A new site and a second occurrence of an existing site both fail.
+	cur := append([]Record(nil), base...)
+	cur = append(cur,
+		Record{Pkg: "npbgo/internal/ep", File: "internal/ep/ep.go", Line: 300, Col: 5, Msg: "new thing escapes to heap"},
+		Record{Pkg: "npbgo/internal/ep", File: "internal/ep/ep.go", Line: 400, Col: 9, Msg: "func literal escapes to heap"},
+	)
+	added, removed = Diff(base, cur)
+	if len(removed) != 0 {
+		t.Fatalf("unexpected removals: %v", removed)
+	}
+	if len(added) != 2 {
+		t.Fatalf("added = %v, want 2 deltas", added)
+	}
+	if added[0].Msg != "func literal escapes to heap" || added[0].Base != 1 || added[0].Cur != 2 {
+		t.Errorf("count-growth delta = %+v", added[0])
+	}
+	if added[1].Msg != "new thing escapes to heap" || added[1].Sample.Line != 300 {
+		t.Errorf("new-site delta = %+v", added[1])
+	}
+
+	// An escape fixed in current shows up as removed.
+	added, removed = Diff(cur, base)
+	if len(added) != 0 || len(removed) != 2 {
+		t.Fatalf("reverse diff: +%v -%v", added, removed)
+	}
+}

@@ -124,84 +124,103 @@ func (c cube) at(i, j, k int) int {
 	return grid.Dim3{N1: c.d1, N2: c.d2, N3: c.d3}.At(i, j, k)
 }
 
-// cffts1 transforms along the first (contiguous) dimension: for every
-// (j,k) pencil batch, gather into the block scratch, transform, scatter
-// into out. Planes k are split over the team.
-func cffts1(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+// cffts1Range transforms the planes [klo, khi) along the first
+// (contiguous) dimension using the caller's workspace: for every (j,k)
+// pencil batch, gather into the block scratch, transform, scatter into
+// out. One worker's share of cffts1.
+func cffts1Range(is int, c cube, in, out []complex128, r *roots, ws *workspace, klo, khi int) {
 	n := c.d1
-	tm.ForBlock(0, c.d3, func(klo, khi int) {
-		ws := newWorkspace(n)
-		for k := klo; k < khi; k++ {
-			for j0 := 0; j0 < c.d2; j0 += fftBlock {
-				ny := min(fftBlock, c.d2-j0)
-				for i := 0; i < n; i++ {
-					base := c.at(i, j0, k)
-					for jj := 0; jj < ny; jj++ {
-						ws.x[i*fftBlock+jj] = in[base+jj*c.d1]
-					}
+	for k := klo; k < khi; k++ {
+		for j0 := 0; j0 < c.d2; j0 += fftBlock {
+			ny := min(fftBlock, c.d2-j0)
+			for i := 0; i < n; i++ {
+				base := c.at(i, j0, k)
+				for jj := 0; jj < ny; jj++ {
+					ws.x[i*fftBlock+jj] = in[base+jj*c.d1]
 				}
-				cfftz(is, n, ny, r, ws)
-				for i := 0; i < n; i++ {
-					base := c.at(i, j0, k)
-					for jj := 0; jj < ny; jj++ {
-						out[base+jj*c.d1] = ws.x[i*fftBlock+jj]
-					}
+			}
+			cfftz(is, n, ny, r, ws)
+			for i := 0; i < n; i++ {
+				base := c.at(i, j0, k)
+				for jj := 0; jj < ny; jj++ {
+					out[base+jj*c.d1] = ws.x[i*fftBlock+jj]
 				}
 			}
 		}
+	}
+}
+
+// cffts1 transforms along the first dimension with planes k split over
+// the team, allocating each worker a fresh workspace — the
+// convenience form the library tests use. The Benchmark's timed loop
+// goes through the preallocated per-worker workspaces instead.
+func cffts1(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	tm.ForBlock(0, c.d3, func(klo, khi int) {
+		cffts1Range(is, c, in, out, r, newWorkspace(c.d1), klo, khi)
 	})
 }
 
-// cffts2 transforms along the second dimension, batching over i.
-func cffts2(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+// cffts2Range transforms the planes [klo, khi) along the second
+// dimension, batching over i. One worker's share of cffts2.
+func cffts2Range(is int, c cube, in, out []complex128, r *roots, ws *workspace, klo, khi int) {
 	n := c.d2
-	tm.ForBlock(0, c.d3, func(klo, khi int) {
-		ws := newWorkspace(n)
-		for k := klo; k < khi; k++ {
-			for i0 := 0; i0 < c.d1; i0 += fftBlock {
-				ny := min(fftBlock, c.d1-i0)
-				for j := 0; j < n; j++ {
-					base := c.at(i0, j, k)
-					for ii := 0; ii < ny; ii++ {
-						ws.x[j*fftBlock+ii] = in[base+ii]
-					}
+	for k := klo; k < khi; k++ {
+		for i0 := 0; i0 < c.d1; i0 += fftBlock {
+			ny := min(fftBlock, c.d1-i0)
+			for j := 0; j < n; j++ {
+				base := c.at(i0, j, k)
+				for ii := 0; ii < ny; ii++ {
+					ws.x[j*fftBlock+ii] = in[base+ii]
 				}
-				cfftz(is, n, ny, r, ws)
-				for j := 0; j < n; j++ {
-					base := c.at(i0, j, k)
-					for ii := 0; ii < ny; ii++ {
-						out[base+ii] = ws.x[j*fftBlock+ii]
-					}
+			}
+			cfftz(is, n, ny, r, ws)
+			for j := 0; j < n; j++ {
+				base := c.at(i0, j, k)
+				for ii := 0; ii < ny; ii++ {
+					out[base+ii] = ws.x[j*fftBlock+ii]
 				}
 			}
 		}
+	}
+}
+
+// cffts2 transforms along the second dimension with planes k split over
+// the team (convenience form; see cffts1).
+func cffts2(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	tm.ForBlock(0, c.d3, func(klo, khi int) {
+		cffts2Range(is, c, in, out, r, newWorkspace(c.d2), klo, khi)
 	})
 }
 
-// cffts3 transforms along the third dimension, batching over i, with
-// rows j split over the team.
-func cffts3(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+// cffts3Range transforms the rows [jlo, jhi) along the third dimension,
+// batching over i. One worker's share of cffts3.
+func cffts3Range(is int, c cube, in, out []complex128, r *roots, ws *workspace, jlo, jhi int) {
 	n := c.d3
-	tm.ForBlock(0, c.d2, func(jlo, jhi int) {
-		ws := newWorkspace(n)
-		for j := jlo; j < jhi; j++ {
-			for i0 := 0; i0 < c.d1; i0 += fftBlock {
-				ny := min(fftBlock, c.d1-i0)
-				for k := 0; k < n; k++ {
-					base := c.at(i0, j, k)
-					for ii := 0; ii < ny; ii++ {
-						ws.x[k*fftBlock+ii] = in[base+ii]
-					}
+	for j := jlo; j < jhi; j++ {
+		for i0 := 0; i0 < c.d1; i0 += fftBlock {
+			ny := min(fftBlock, c.d1-i0)
+			for k := 0; k < n; k++ {
+				base := c.at(i0, j, k)
+				for ii := 0; ii < ny; ii++ {
+					ws.x[k*fftBlock+ii] = in[base+ii]
 				}
-				cfftz(is, n, ny, r, ws)
-				for k := 0; k < n; k++ {
-					base := c.at(i0, j, k)
-					for ii := 0; ii < ny; ii++ {
-						out[base+ii] = ws.x[k*fftBlock+ii]
-					}
+			}
+			cfftz(is, n, ny, r, ws)
+			for k := 0; k < n; k++ {
+				base := c.at(i0, j, k)
+				for ii := 0; ii < ny; ii++ {
+					out[base+ii] = ws.x[k*fftBlock+ii]
 				}
 			}
 		}
+	}
+}
+
+// cffts3 transforms along the third dimension with rows j split over
+// the team (convenience form; see cffts1).
+func cffts3(is int, c cube, in, out []complex128, r *roots, tm *team.Team) {
+	tm.ForBlock(0, c.d2, func(jlo, jhi int) {
+		cffts3Range(is, c, in, out, r, newWorkspace(c.d3), jlo, jhi)
 	})
 }
 

@@ -76,6 +76,25 @@ type Benchmark struct {
 	u0, u1, u2 []complex128
 	twiddle    []float64
 	r1, r2, r3 *roots
+
+	// Steady-state machinery: per-worker scratch and region bodies are
+	// built once by New and reused on every call, so the timed loop
+	// performs no heap allocation (enforced by internal/allocgate). The
+	// fft* fields stage the current transform's direction and operands
+	// for the prebuilt bodies.
+	tm        *team.Team
+	ws        []*workspace // per-worker FFT pencil scratch, sized max extent
+	icScratch [][]float64  // per-worker plane scratch for the initial field
+	starts    []float64    // per-plane generator seeds
+
+	fftDir        int
+	fftIn, fftOut []complex128
+
+	initCondBody func(id int)
+	evolveBody   func(id int)
+	c1Body       func(id int)
+	c2Body       func(id int)
+	c3Body       func(id int)
 }
 
 // Option configures optional benchmark behaviour.
@@ -121,7 +140,71 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	b.r1 = fftInit(p.nx)
 	b.r2 = fftInit(p.ny)
 	b.r3 = fftInit(p.nz)
+	maxN := p.nx
+	if p.ny > maxN {
+		maxN = p.ny
+	}
+	if p.nz > maxN {
+		maxN = p.nz
+	}
+	b.ws = make([]*workspace, threads)
+	b.icScratch = make([][]float64, threads)
+	for i := range b.ws {
+		b.ws[i] = newWorkspace(maxN)
+		b.icScratch[i] = make([]float64, 2*p.nx*p.ny)
+	}
+	b.starts = make([]float64, p.nz)
+	b.buildBodies()
 	return b, nil
+}
+
+// buildBodies constructs every parallel-region body once. Each is a
+// func(id int) handed straight to Team.Run; block bounds come from
+// team.Block inside the body, scratch from the per-worker pools, and
+// the FFT operands from the fft* staging fields, so the timed loop
+// creates no closures.
+func (b *Benchmark) buildBodies() {
+	//npblint:hot random plane fill with the per-worker scratch buffer
+	b.initCondBody = func(id int) {
+		nx, ny, nz := b.p.nx, b.p.ny, b.p.nz
+		klo, khi := team.Block(0, nz, b.tm.Size(), id)
+		scratch := b.icScratch[id]
+		for k := klo; k < khi; k++ {
+			x0 := b.starts[k]
+			randdp.Vranlc(len(scratch), &x0, randdp.A, scratch)
+			base := b.c.at(0, 0, k)
+			for e := 0; e < nx*ny; e++ {
+				b.u1[base+e] = complex(scratch[2*e], scratch[2*e+1])
+			}
+		}
+	}
+
+	//npblint:hot spectral evolution u0 *= twiddle, u1 = u0
+	b.evolveBody = func(id int) {
+		lo, hi := team.Block(0, b.c.len(), b.tm.Size(), id)
+		for i := lo; i < hi; i++ {
+			b.u0[i] *= complex(b.twiddle[i], 0)
+			b.u1[i] = b.u0[i]
+		}
+	}
+
+	//npblint:hot first-dimension FFT over the staged operands
+	b.c1Body = func(id int) {
+		klo, khi := team.Block(0, b.c.d3, b.tm.Size(), id)
+		cffts1Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r1, b.ws[id], klo, khi)
+	}
+
+	//npblint:hot second-dimension FFT over the staged operands
+	b.c2Body = func(id int) {
+		klo, khi := team.Block(0, b.c.d3, b.tm.Size(), id)
+		cffts2Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r2, b.ws[id], klo, khi)
+	}
+
+	//npblint:hot third-dimension FFT over the staged operands
+	b.c3Body = func(id int) {
+		jlo, jhi := team.Block(0, b.c.d2, b.tm.Size(), id)
+		cffts3Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r3, b.ws[id], jlo, jhi)
+	}
 }
 
 // computeIndexMap fills twiddle(i,j,k) = exp(ap*(i'^2+j'^2+k'^2)) where
@@ -152,50 +235,55 @@ func (b *Benchmark) computeIndexMap(tm *team.Team) {
 func (b *Benchmark) computeInitialConditions(tm *team.Team) {
 	nx, ny, nz := b.p.nx, b.p.ny, b.p.nz
 	an := randdp.Ipow46(randdp.A, 2*nx*ny)
-	starts := make([]float64, nz)
 	s := seed
 	for k := 0; k < nz; k++ {
-		starts[k] = s
+		b.starts[k] = s
 		if k != nz-1 {
 			randdp.Randlc(&s, an)
 		}
 	}
-	tm.ForBlock(0, nz, func(klo, khi int) {
-		scratch := make([]float64, 2*nx*ny)
-		for k := klo; k < khi; k++ {
-			x0 := starts[k]
-			randdp.Vranlc(len(scratch), &x0, randdp.A, scratch)
-			base := b.c.at(0, 0, k)
-			for e := 0; e < nx*ny; e++ {
-				b.u1[base+e] = complex(scratch[2*e], scratch[2*e+1])
-			}
-		}
-	})
+	b.tm = tm
+	tm.Run(b.initCondBody)
 }
 
 // evolve advances the spectral field one time step: u0 *= twiddle,
 // u1 = u0, as ft.f's evolve.
 func (b *Benchmark) evolve(tm *team.Team) {
-	tm.ForBlock(0, b.c.len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			b.u0[i] *= complex(b.twiddle[i], 0)
-			b.u1[i] = b.u0[i]
-		}
-	})
+	b.tm = tm
+	tm.Run(b.evolveBody)
+}
+
+// runFFT stages one transform's direction and operands for body and
+// dispatches it on the current team.
+func (b *Benchmark) runFFT(body func(id int), dir int, in, out []complex128) {
+	b.fftDir, b.fftIn, b.fftOut = dir, in, out
+	b.tm.Run(body)
 }
 
 // fft3d applies the full 3-D transform (dir = +1 forward, -1 inverse,
 // unnormalized; checksums carry the 1/ntotal factor as in the original).
 func (b *Benchmark) fft3d(dir int, in, out []complex128, tm *team.Team) {
+	b.tm = tm
 	if dir == 1 {
-		cffts1(1, b.c, in, out, b.r1, tm)
-		cffts2(1, b.c, out, out, b.r2, tm)
-		cffts3(1, b.c, out, out, b.r3, tm)
+		b.runFFT(b.c1Body, 1, in, out)
+		b.runFFT(b.c2Body, 1, out, out)
+		b.runFFT(b.c3Body, 1, out, out)
 	} else {
-		cffts3(-1, b.c, in, out, b.r3, tm)
-		cffts2(-1, b.c, out, out, b.r2, tm)
-		cffts1(-1, b.c, out, out, b.r1, tm)
+		b.runFFT(b.c3Body, -1, in, out)
+		b.runFFT(b.c2Body, -1, out, out)
+		b.runFFT(b.c1Body, -1, out, out)
 	}
+}
+
+// Iter runs one timed evolution step — spectral evolve, inverse 3-D
+// FFT, checksum — on tm, whose Size must equal the thread count the
+// Benchmark was built with, and returns the step's checksum. Iter is
+// the steady-state hook the allocation gate measures: after the first
+// call it performs no heap allocation.
+func (b *Benchmark) Iter(tm *team.Team) complex128 {
+	b.evolve(tm)
+	b.fft3d(-1, b.u1, b.u2, tm)
+	return b.checksum(b.u2)
 }
 
 // checksum accumulates the standard 1024-point checksum of u, scaled by
@@ -246,9 +334,7 @@ func (b *Benchmark) Run() Result {
 		if tm.Cancelled() {
 			break
 		}
-		b.evolve(tm)
-		b.fft3d(-1, b.u1, b.u2, tm)
-		sums = append(sums, b.checksum(b.u2))
+		sums = append(sums, b.Iter(tm))
 	}
 	elapsed := time.Since(start)
 

@@ -123,119 +123,97 @@ func (b *Benchmark) upperRow(ws *sweepScratch, j, k int) {
 	}
 }
 
+// ensurePipe binds the benchmark to tm and (re)builds the cached
+// plane pipeline when the team changes. The team-wired pipeline charges
+// per-plane stalls to each worker's obs wait slot and trace timeline —
+// the paper's LU scalability culprit, made visible per worker instead
+// of folded into run time.
+func (b *Benchmark) ensurePipe(tm *team.Team) {
+	b.tm = tm
+	if b.pipeOwner != tm {
+		b.pipe = tm.NewPipeline(b.n)
+		b.pipeOwner = tm
+	}
+}
+
+// Iter runs one timed SSOR istep — residual scaling, the pipelined (or
+// hyperplane) triangular sweeps, the flow-variable update and the rhs
+// recomputation — on tm, whose Size must equal the thread count the
+// Benchmark was built with. Iter is the steady-state hook the
+// allocation gate measures: after the first call it performs no heap
+// allocation.
+func (b *Benchmark) Iter(tm *team.Team) {
+	b.ensurePipe(tm)
+	if b.timers != nil {
+		b.timers.Start("scale+update")
+	}
+	if b.tr != nil {
+		b.tr.BeginPhase("scale+update")
+	}
+	// Scale the residual by the pseudo-time step.
+	tm.Run(b.scaleBody)
+
+	if b.timers != nil {
+		b.timers.Stop("scale+update")
+		b.timers.Start("sweeps")
+	}
+	if b.tr != nil {
+		b.tr.EndPhase("scale+update")
+		b.tr.BeginPhase("sweeps")
+	}
+	if b.hyper {
+		b.lowerSweepHyperplane(tm)
+		b.upperSweepHyperplane(tm)
+	} else {
+		// Lower-triangular sweep, pipelined forward.
+		tm.Run(b.lowerBody)
+		b.pipe.Drain()
+
+		// Upper-triangular sweep, pipelined backward.
+		tm.Run(b.upperBody)
+		b.pipe.Drain()
+	}
+
+	if b.timers != nil {
+		b.timers.Stop("sweeps")
+		b.timers.Start("scale+update")
+	}
+	if b.tr != nil {
+		b.tr.EndPhase("sweeps")
+		b.tr.BeginPhase("scale+update")
+	}
+	// Update the flow variables.
+	tm.Run(b.updateBody)
+
+	if b.timers != nil {
+		b.timers.Stop("scale+update")
+		b.timers.Start("rhs")
+	}
+	if b.tr != nil {
+		b.tr.EndPhase("scale+update")
+		b.tr.BeginPhase("rhs")
+	}
+	b.rhs(tm)
+	if b.timers != nil {
+		b.timers.Stop("rhs")
+	}
+	if b.tr != nil {
+		b.tr.EndPhase("rhs")
+	}
+}
+
 // ssor runs the timed SSOR iteration loop and returns the elapsed time
 // of the timed section (lu.f's ssor). The triangular sweeps are
 // pipelined over j-blocks: worker w may process plane k only after
 // worker w-1 has finished plane k (and the reverse for the upper sweep)
 // — the in-loop synchronization the paper blames for LU's scalability.
 func (b *Benchmark) ssor(tm *team.Team) time.Duration {
-	n := b.n
-	tmp := 1.0 / (omega * (2.0 - omega))
-	size := tm.Size()
-
 	b.rhs(tm)
 	b.l2norm(b.rsd) // initial residual, reported by the cmd wrapper
 
-	// The team-wired pipeline charges per-plane stalls to each worker's
-	// obs wait slot and trace timeline — the paper's LU scalability
-	// culprit, made visible per worker instead of folded into run time.
-	pipe := tm.NewPipeline(n)
 	start := time.Now()
 	for istep := 1; istep <= b.itmax; istep++ {
-		if b.timers != nil {
-			b.timers.Start("scale+update")
-		}
-		if b.tr != nil {
-			b.tr.BeginPhase("scale+update")
-		}
-		// Scale the residual by the pseudo-time step.
-		tm.ForBlock(1, n-1, func(klo, khi int) {
-			for k := klo; k < khi; k++ {
-				for j := 1; j < n-1; j++ {
-					off := b.at(1, j, k)
-					for e := 0; e < 5*(n-2); e++ {
-						b.rsd[off+e] *= b.c.Dt
-					}
-				}
-			}
-		})
-
-		if b.timers != nil {
-			b.timers.Stop("scale+update")
-			b.timers.Start("sweeps")
-		}
-		if b.tr != nil {
-			b.tr.EndPhase("scale+update")
-			b.tr.BeginPhase("sweeps")
-		}
-		if b.hyper {
-			b.lowerSweepHyperplane(tm)
-			b.upperSweepHyperplane(tm)
-		} else {
-			// Lower-triangular sweep, pipelined forward.
-			tm.Run(func(id int) {
-				jlo, jhi := team.Block(1, n-1, size, id)
-				ws := b.scratch[id]
-				for k := 1; k < n-1; k++ {
-					pipe.Wait(id)
-					for j := jlo; j < jhi; j++ {
-						b.lowerRow(ws, j, k)
-					}
-					pipe.Post(id)
-				}
-			})
-			pipe.Drain()
-
-			// Upper-triangular sweep, pipelined backward.
-			tm.Run(func(id int) {
-				jlo, jhi := team.Block(1, n-1, size, id)
-				ws := b.scratch[id]
-				for k := n - 2; k >= 1; k-- {
-					pipe.WaitReverse(id)
-					for j := jhi - 1; j >= jlo; j-- {
-						b.upperRow(ws, j, k)
-					}
-					pipe.PostReverse(id)
-				}
-			})
-			pipe.Drain()
-		}
-
-		if b.timers != nil {
-			b.timers.Stop("sweeps")
-			b.timers.Start("scale+update")
-		}
-		if b.tr != nil {
-			b.tr.EndPhase("sweeps")
-			b.tr.BeginPhase("scale+update")
-		}
-		// Update the flow variables.
-		tm.ForBlock(1, n-1, func(klo, khi int) {
-			for k := klo; k < khi; k++ {
-				for j := 1; j < n-1; j++ {
-					off := b.at(1, j, k)
-					for e := 0; e < 5*(n-2); e++ {
-						b.u[off+e] += tmp * b.rsd[off+e]
-					}
-				}
-			}
-		})
-
-		if b.timers != nil {
-			b.timers.Stop("scale+update")
-			b.timers.Start("rhs")
-		}
-		if b.tr != nil {
-			b.tr.EndPhase("scale+update")
-			b.tr.BeginPhase("rhs")
-		}
-		b.rhs(tm)
-		if b.timers != nil {
-			b.timers.Stop("rhs")
-		}
-		if b.tr != nil {
-			b.tr.EndPhase("rhs")
-		}
+		b.Iter(tm)
 	}
 	return time.Since(start)
 }

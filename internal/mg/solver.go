@@ -19,6 +19,7 @@ type Solver struct {
 	u, r    [][]float64
 	v       []float64
 	a, c    [4]float64
+	cy      *cycle // reusable stencil engine
 }
 
 // NewSolver creates a solver for an n^3 periodic grid; n must be a
@@ -47,6 +48,7 @@ func NewSolver(n, threads int) (*Solver, error) {
 	s.v = make([]float64, s.lv[lt].len())
 	s.a = [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}
 	s.c = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0}
+	s.cy = newCycle(threads, s.lv[lt].n1, s.a, s.c)
 	return s, nil
 }
 
@@ -90,12 +92,12 @@ func (s *Solver) Solve(rhs []float64, cycles int) (u []float64, resNorm float64,
 
 	zero3(s.u[s.lt])
 	nxyz := float64(n) * float64(n) * float64(n)
-	resid(s.r[s.lt], s.u[s.lt], s.v, fin, &s.a, tm)
+	s.cy.resid(tm, s.r[s.lt], s.u[s.lt], s.v, fin)
 	for it := 0; it < cycles; it++ {
 		s.mg3P(tm)
-		resid(s.r[s.lt], s.u[s.lt], s.v, fin, &s.a, tm)
+		s.cy.resid(tm, s.r[s.lt], s.u[s.lt], s.v, fin)
 	}
-	resNorm, _ = norm2u3(s.r[s.lt], fin, nxyz, tm)
+	resNorm, _ = s.cy.norm2u3(tm, s.r[s.lt], fin, nxyz)
 
 	out := make([]float64, n*n*n)
 	for k := 0; k < n; k++ {
@@ -115,19 +117,19 @@ func (s *Solver) mg3P(tm *team.Team) {
 	lt := s.lt
 	const lb = 1
 	for k := lt; k >= lb+1; k-- {
-		rprj3(s.r[k], s.lv[k], s.r[k-1], s.lv[k-1], tm)
+		s.cy.rprj3(tm, s.r[k], s.lv[k], s.r[k-1], s.lv[k-1])
 	}
 	zero3(s.u[lb])
-	psinv(s.r[lb], s.u[lb], s.lv[lb], &s.c, tm)
+	s.cy.psinv(tm, s.r[lb], s.u[lb], s.lv[lb])
 	for k := lb + 1; k <= lt-1; k++ {
 		zero3(s.u[k])
-		interp(s.u[k-1], s.lv[k-1], s.u[k], s.lv[k], tm)
-		resid(s.r[k], s.u[k], s.r[k], s.lv[k], &s.a, tm)
-		psinv(s.r[k], s.u[k], s.lv[k], &s.c, tm)
+		s.cy.interp(tm, s.u[k-1], s.lv[k-1], s.u[k], s.lv[k])
+		s.cy.resid(tm, s.r[k], s.u[k], s.r[k], s.lv[k])
+		s.cy.psinv(tm, s.r[k], s.u[k], s.lv[k])
 	}
-	interp(s.u[lt-1], s.lv[lt-1], s.u[lt], s.lv[lt], tm)
-	resid(s.r[lt], s.u[lt], s.v, s.lv[lt], &s.a, tm)
-	psinv(s.r[lt], s.u[lt], s.lv[lt], &s.c, tm)
+	s.cy.interp(tm, s.u[lt-1], s.lv[lt-1], s.u[lt], s.lv[lt])
+	s.cy.resid(tm, s.r[lt], s.u[lt], s.v, s.lv[lt])
+	s.cy.psinv(tm, s.r[lt], s.u[lt], s.lv[lt])
 }
 
 // ResidualOf computes ||v - A u|| / n^1.5 for externally supplied u and

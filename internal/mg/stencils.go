@@ -41,80 +41,97 @@ func comm3(u []float64, l level) {
 	copy(u[(n3-1)*plane:n3*plane], u[plane:2*plane])
 }
 
-// resid computes r = v - A u on the interior and refreshes r's ghost
-// shells. The 27-point operator is expressed through the two temporary
-// rows u1 (face-neighbour sums) and u2 (edge-neighbour sums) exactly as
-// mg.f's resid; the a[1] term is dropped because a[1] = 0 in every NPB
-// class (the Fortran omits it too).
-func resid(r, u, v []float64, l level, a *[4]float64, tm *team.Team) {
-	n1, n2, n3 := l.n1, l.n2, l.n3
-	tm.ForBlock(1, n3-1, func(k0, k1 int) {
-		u1 := make([]float64, n1)
-		u2 := make([]float64, n1)
-		for i3 := k0; i3 < k1; i3++ {
-			for i2 := 1; i2 < n2-1; i2++ {
-				c := l.at(0, i2, i3)
-				cm2 := l.at(0, i2-1, i3)
-				cp2 := l.at(0, i2+1, i3)
-				cm3 := l.at(0, i2, i3-1)
-				cp3 := l.at(0, i2, i3+1)
-				cmm := l.at(0, i2-1, i3-1)
-				cpm := l.at(0, i2+1, i3-1)
-				cmp := l.at(0, i2-1, i3+1)
-				cpp := l.at(0, i2+1, i3+1)
-				for i1 := 0; i1 < n1; i1++ {
-					u1[i1] = u[cm2+i1] + u[cp2+i1] + u[cm3+i1] + u[cp3+i1]
-					u2[i1] = u[cmm+i1] + u[cpm+i1] + u[cmp+i1] + u[cpp+i1]
-				}
-				for i1 := 1; i1 < n1-1; i1++ {
-					r[c+i1] = v[c+i1] -
-						a[0]*u[c+i1] -
-						a[2]*(u2[i1]+u1[i1-1]+u1[i1+1]) -
-						a[3]*(u2[i1-1]+u2[i1+1])
-				}
+// residRange computes r = v - A u on the interior planes [k0, k1) using
+// the caller's two scratch rows (each at least n1 long). The 27-point
+// operator is expressed through the temporary rows u1 (face-neighbour
+// sums) and u2 (edge-neighbour sums) exactly as mg.f's resid; the a[1]
+// term is dropped because a[1] = 0 in every NPB class (the Fortran
+// omits it too). One worker's share of resid.
+func residRange(r, u, v []float64, l level, a *[4]float64, u1, u2 []float64, k0, k1 int) {
+	n1, n2 := l.n1, l.n2
+	for i3 := k0; i3 < k1; i3++ {
+		for i2 := 1; i2 < n2-1; i2++ {
+			c := l.at(0, i2, i3)
+			cm2 := l.at(0, i2-1, i3)
+			cp2 := l.at(0, i2+1, i3)
+			cm3 := l.at(0, i2, i3-1)
+			cp3 := l.at(0, i2, i3+1)
+			cmm := l.at(0, i2-1, i3-1)
+			cpm := l.at(0, i2+1, i3-1)
+			cmp := l.at(0, i2-1, i3+1)
+			cpp := l.at(0, i2+1, i3+1)
+			for i1 := 0; i1 < n1; i1++ {
+				u1[i1] = u[cm2+i1] + u[cp2+i1] + u[cm3+i1] + u[cp3+i1]
+				u2[i1] = u[cmm+i1] + u[cpm+i1] + u[cmp+i1] + u[cpp+i1]
+			}
+			for i1 := 1; i1 < n1-1; i1++ {
+				r[c+i1] = v[c+i1] -
+					a[0]*u[c+i1] -
+					a[2]*(u2[i1]+u1[i1-1]+u1[i1+1]) -
+					a[3]*(u2[i1-1]+u2[i1+1])
 			}
 		}
+	}
+}
+
+// resid computes r = v - A u on the interior and refreshes r's ghost
+// shells, allocating each worker fresh scratch rows — the convenience
+// form the library tests use. The Benchmark's timed loop goes through
+// the cycle engine's preallocated scratch instead.
+func resid(r, u, v []float64, l level, a *[4]float64, tm *team.Team) {
+	scr := newRowScratch(tm.Size(), l.n1)
+	tm.Run(func(id int) {
+		k0, k1 := team.Block(1, l.n3-1, tm.Size(), id)
+		residRange(r, u, v, l, a, scr[id][0], scr[id][1], k0, k1)
 	})
 	comm3(r, l)
 }
 
-// psinv applies the smoother u += C r on the interior and refreshes u's
-// ghost shells; c[3] = 0 in every class so its term is dropped, as in
-// mg.f.
-func psinv(r, u []float64, l level, c *[4]float64, tm *team.Team) {
-	n1, n2, n3 := l.n1, l.n2, l.n3
-	tm.ForBlock(1, n3-1, func(k0, k1 int) {
-		r1 := make([]float64, n1)
-		r2 := make([]float64, n1)
-		for i3 := k0; i3 < k1; i3++ {
-			for i2 := 1; i2 < n2-1; i2++ {
-				cc := l.at(0, i2, i3)
-				cm2 := l.at(0, i2-1, i3)
-				cp2 := l.at(0, i2+1, i3)
-				cm3 := l.at(0, i2, i3-1)
-				cp3 := l.at(0, i2, i3+1)
-				cmm := l.at(0, i2-1, i3-1)
-				cpm := l.at(0, i2+1, i3-1)
-				cmp := l.at(0, i2-1, i3+1)
-				cpp := l.at(0, i2+1, i3+1)
-				for i1 := 0; i1 < n1; i1++ {
-					r1[i1] = r[cm2+i1] + r[cp2+i1] + r[cm3+i1] + r[cp3+i1]
-					r2[i1] = r[cmm+i1] + r[cpm+i1] + r[cmp+i1] + r[cpp+i1]
-				}
-				for i1 := 1; i1 < n1-1; i1++ {
-					u[cc+i1] += c[0]*r[cc+i1] +
-						c[1]*(r[cc+i1-1]+r[cc+i1+1]+r1[i1]) +
-						c[2]*(r2[i1]+r1[i1-1]+r1[i1+1])
-				}
+// psinvRange applies the smoother u += C r on the interior planes
+// [k0, k1) using the caller's two scratch rows; c[3] = 0 in every class
+// so its term is dropped, as in mg.f. One worker's share of psinv.
+func psinvRange(r, u []float64, l level, c *[4]float64, r1, r2 []float64, k0, k1 int) {
+	n1, n2 := l.n1, l.n2
+	for i3 := k0; i3 < k1; i3++ {
+		for i2 := 1; i2 < n2-1; i2++ {
+			cc := l.at(0, i2, i3)
+			cm2 := l.at(0, i2-1, i3)
+			cp2 := l.at(0, i2+1, i3)
+			cm3 := l.at(0, i2, i3-1)
+			cp3 := l.at(0, i2, i3+1)
+			cmm := l.at(0, i2-1, i3-1)
+			cpm := l.at(0, i2+1, i3-1)
+			cmp := l.at(0, i2-1, i3+1)
+			cpp := l.at(0, i2+1, i3+1)
+			for i1 := 0; i1 < n1; i1++ {
+				r1[i1] = r[cm2+i1] + r[cp2+i1] + r[cm3+i1] + r[cp3+i1]
+				r2[i1] = r[cmm+i1] + r[cpm+i1] + r[cmp+i1] + r[cpp+i1]
+			}
+			for i1 := 1; i1 < n1-1; i1++ {
+				u[cc+i1] += c[0]*r[cc+i1] +
+					c[1]*(r[cc+i1-1]+r[cc+i1+1]+r1[i1]) +
+					c[2]*(r2[i1]+r1[i1-1]+r1[i1+1])
 			}
 		}
+	}
+}
+
+// psinv applies the smoother u += C r on the interior and refreshes u's
+// ghost shells (convenience form; see resid).
+func psinv(r, u []float64, l level, c *[4]float64, tm *team.Team) {
+	scr := newRowScratch(tm.Size(), l.n1)
+	tm.Run(func(id int) {
+		k0, k1 := team.Block(1, l.n3-1, tm.Size(), id)
+		psinvRange(r, u, l, c, scr[id][0], scr[id][1], k0, k1)
 	})
 	comm3(u, l)
 }
 
-// rprj3 restricts the fine residual r (level lk) onto the coarse grid s
-// (level lj) with full weighting, then refreshes s's ghost shells.
-func rprj3(r []float64, lk level, s []float64, lj level, tm *team.Team) {
+// rprj3Range restricts the fine residual r (level lk) onto the coarse
+// planes [j3lo, j3hi) of s (level lj) with full weighting, using the
+// caller's two scratch rows (each at least lk.n1 long). One worker's
+// share of rprj3; the caller refreshes s's ghost shells after the join.
+func rprj3Range(r []float64, lk level, s []float64, lj level, x1, y1 []float64, j3lo, j3hi int) {
 	d1, d2, d3 := 1, 1, 1
 	if lk.n1 == 3 {
 		d1 = 2
@@ -125,74 +142,103 @@ func rprj3(r []float64, lk level, s []float64, lj level, tm *team.Team) {
 	if lk.n3 == 3 {
 		d3 = 2
 	}
-	m1j, m2j, m3j := lj.n1, lj.n2, lj.n3
-	tm.ForBlock(1, m3j-1, func(j3lo, j3hi int) {
-		x1 := make([]float64, lk.n1)
-		y1 := make([]float64, lk.n1)
-		for j3 := j3lo; j3 < j3hi; j3++ {
-			i3 := 2*(j3+1) - d3 - 1 // 0-based translation of i3 = 2*j3 - d3
-			for j2 := 1; j2 < m2j-1; j2++ {
-				i2 := 2*(j2+1) - d2 - 1
-				for j1 := 1; j1 < m1j; j1++ {
-					i1 := 2*(j1+1) - d1 - 1
-					x1[i1-1] = r[lk.at(i1-1, i2-1, i3)] + r[lk.at(i1-1, i2+1, i3)] +
-						r[lk.at(i1-1, i2, i3-1)] + r[lk.at(i1-1, i2, i3+1)]
-					y1[i1-1] = r[lk.at(i1-1, i2-1, i3-1)] + r[lk.at(i1-1, i2-1, i3+1)] +
-						r[lk.at(i1-1, i2+1, i3-1)] + r[lk.at(i1-1, i2+1, i3+1)]
-				}
-				for j1 := 1; j1 < m1j-1; j1++ {
-					i1 := 2*(j1+1) - d1 - 1
-					y2 := r[lk.at(i1, i2-1, i3-1)] + r[lk.at(i1, i2-1, i3+1)] +
-						r[lk.at(i1, i2+1, i3-1)] + r[lk.at(i1, i2+1, i3+1)]
-					x2 := r[lk.at(i1, i2-1, i3)] + r[lk.at(i1, i2+1, i3)] +
-						r[lk.at(i1, i2, i3-1)] + r[lk.at(i1, i2, i3+1)]
-					s[lj.at(j1, j2, j3)] = 0.5*r[lk.at(i1, i2, i3)] +
-						0.25*(r[lk.at(i1-1, i2, i3)]+r[lk.at(i1+1, i2, i3)]+x2) +
-						0.125*(x1[i1-1]+x1[i1+1]+y2) +
-						0.0625*(y1[i1-1]+y1[i1+1])
-				}
+	m1j, m2j := lj.n1, lj.n2
+	for j3 := j3lo; j3 < j3hi; j3++ {
+		i3 := 2*(j3+1) - d3 - 1 // 0-based translation of i3 = 2*j3 - d3
+		for j2 := 1; j2 < m2j-1; j2++ {
+			i2 := 2*(j2+1) - d2 - 1
+			for j1 := 1; j1 < m1j; j1++ {
+				i1 := 2*(j1+1) - d1 - 1
+				x1[i1-1] = r[lk.at(i1-1, i2-1, i3)] + r[lk.at(i1-1, i2+1, i3)] +
+					r[lk.at(i1-1, i2, i3-1)] + r[lk.at(i1-1, i2, i3+1)]
+				y1[i1-1] = r[lk.at(i1-1, i2-1, i3-1)] + r[lk.at(i1-1, i2-1, i3+1)] +
+					r[lk.at(i1-1, i2+1, i3-1)] + r[lk.at(i1-1, i2+1, i3+1)]
+			}
+			for j1 := 1; j1 < m1j-1; j1++ {
+				i1 := 2*(j1+1) - d1 - 1
+				y2 := r[lk.at(i1, i2-1, i3-1)] + r[lk.at(i1, i2-1, i3+1)] +
+					r[lk.at(i1, i2+1, i3-1)] + r[lk.at(i1, i2+1, i3+1)]
+				x2 := r[lk.at(i1, i2-1, i3)] + r[lk.at(i1, i2+1, i3)] +
+					r[lk.at(i1, i2, i3-1)] + r[lk.at(i1, i2, i3+1)]
+				s[lj.at(j1, j2, j3)] = 0.5*r[lk.at(i1, i2, i3)] +
+					0.25*(r[lk.at(i1-1, i2, i3)]+r[lk.at(i1+1, i2, i3)]+x2) +
+					0.125*(x1[i1-1]+x1[i1+1]+y2) +
+					0.0625*(y1[i1-1]+y1[i1+1])
 			}
 		}
+	}
+}
+
+// rprj3 restricts with each worker allocated fresh scratch rows
+// (convenience form; see resid).
+func rprj3(r []float64, lk level, s []float64, lj level, tm *team.Team) {
+	scr := newRowScratch(tm.Size(), lk.n1)
+	tm.Run(func(id int) {
+		j3lo, j3hi := team.Block(1, lj.n3-1, tm.Size(), id)
+		rprj3Range(r, lk, s, lj, scr[id][0], scr[id][1], j3lo, j3hi)
 	})
 	comm3(s, lj)
 }
 
-// interp adds the trilinear prolongation of the coarse correction z
-// (level lj) into the fine grid u (level lk). NPB grids always have at
-// least 2 interior points per side at the coarsest level, so only the
-// general branch of mg.f's interp is needed.
-func interp(z []float64, lj level, u []float64, lk level, tm *team.Team) {
-	mm1, mm2, mm3 := lj.n1, lj.n2, lj.n3
-	tm.ForBlock(0, mm3-1, func(i3lo, i3hi int) {
-		z1 := make([]float64, mm1)
-		z2 := make([]float64, mm1)
-		z3 := make([]float64, mm1)
-		for i3 := i3lo; i3 < i3hi; i3++ {
-			for i2 := 0; i2 < mm2-1; i2++ {
-				for i1 := 0; i1 < mm1; i1++ {
-					z1[i1] = z[lj.at(i1, i2+1, i3)] + z[lj.at(i1, i2, i3)]
-					z2[i1] = z[lj.at(i1, i2, i3+1)] + z[lj.at(i1, i2, i3)]
-					z3[i1] = z[lj.at(i1, i2+1, i3+1)] + z[lj.at(i1, i2, i3+1)] + z1[i1]
-				}
-				for i1 := 0; i1 < mm1-1; i1++ {
-					u[lk.at(2*i1, 2*i2, 2*i3)] += z[lj.at(i1, i2, i3)]
-					u[lk.at(2*i1+1, 2*i2, 2*i3)] += 0.5 * (z[lj.at(i1+1, i2, i3)] + z[lj.at(i1, i2, i3)])
-				}
-				for i1 := 0; i1 < mm1-1; i1++ {
-					u[lk.at(2*i1, 2*i2+1, 2*i3)] += 0.5 * z1[i1]
-					u[lk.at(2*i1+1, 2*i2+1, 2*i3)] += 0.25 * (z1[i1] + z1[i1+1])
-				}
-				for i1 := 0; i1 < mm1-1; i1++ {
-					u[lk.at(2*i1, 2*i2, 2*i3+1)] += 0.5 * z2[i1]
-					u[lk.at(2*i1+1, 2*i2, 2*i3+1)] += 0.25 * (z2[i1] + z2[i1+1])
-				}
-				for i1 := 0; i1 < mm1-1; i1++ {
-					u[lk.at(2*i1, 2*i2+1, 2*i3+1)] += 0.25 * z3[i1]
-					u[lk.at(2*i1+1, 2*i2+1, 2*i3+1)] += 0.125 * (z3[i1] + z3[i1+1])
-				}
+// interpRange adds the trilinear prolongation of the coarse planes
+// [i3lo, i3hi) of z (level lj) into the fine grid u (level lk), using
+// the caller's three scratch rows (each at least lj.n1 long). NPB grids
+// always have at least 2 interior points per side at the coarsest
+// level, so only the general branch of mg.f's interp is needed. One
+// worker's share of interp.
+func interpRange(z []float64, lj level, u []float64, lk level, z1, z2, z3 []float64, i3lo, i3hi int) {
+	mm1, mm2 := lj.n1, lj.n2
+	for i3 := i3lo; i3 < i3hi; i3++ {
+		for i2 := 0; i2 < mm2-1; i2++ {
+			for i1 := 0; i1 < mm1; i1++ {
+				z1[i1] = z[lj.at(i1, i2+1, i3)] + z[lj.at(i1, i2, i3)]
+				z2[i1] = z[lj.at(i1, i2, i3+1)] + z[lj.at(i1, i2, i3)]
+				z3[i1] = z[lj.at(i1, i2+1, i3+1)] + z[lj.at(i1, i2, i3+1)] + z1[i1]
+			}
+			for i1 := 0; i1 < mm1-1; i1++ {
+				u[lk.at(2*i1, 2*i2, 2*i3)] += z[lj.at(i1, i2, i3)]
+				u[lk.at(2*i1+1, 2*i2, 2*i3)] += 0.5 * (z[lj.at(i1+1, i2, i3)] + z[lj.at(i1, i2, i3)])
+			}
+			for i1 := 0; i1 < mm1-1; i1++ {
+				u[lk.at(2*i1, 2*i2+1, 2*i3)] += 0.5 * z1[i1]
+				u[lk.at(2*i1+1, 2*i2+1, 2*i3)] += 0.25 * (z1[i1] + z1[i1+1])
+			}
+			for i1 := 0; i1 < mm1-1; i1++ {
+				u[lk.at(2*i1, 2*i2, 2*i3+1)] += 0.5 * z2[i1]
+				u[lk.at(2*i1+1, 2*i2, 2*i3+1)] += 0.25 * (z2[i1] + z2[i1+1])
+			}
+			for i1 := 0; i1 < mm1-1; i1++ {
+				u[lk.at(2*i1, 2*i2+1, 2*i3+1)] += 0.25 * z3[i1]
+				u[lk.at(2*i1+1, 2*i2+1, 2*i3+1)] += 0.125 * (z3[i1] + z3[i1+1])
 			}
 		}
+	}
+}
+
+// interp adds the trilinear prolongation with each worker allocated
+// fresh scratch rows (convenience form; see resid).
+func interp(z []float64, lj level, u []float64, lk level, tm *team.Team) {
+	scr := newRowScratch(tm.Size(), lj.n1)
+	tm.Run(func(id int) {
+		i3lo, i3hi := team.Block(0, lj.n3-1, tm.Size(), id)
+		interpRange(z, lj, u, lk, scr[id][0], scr[id][1], scr[id][2], i3lo, i3hi)
 	})
+}
+
+// newRowScratch allocates per-worker stencil scratch: three rows of n
+// values for each of workers workers. The convenience stencil wrappers
+// allocate one per call, outside the parallel region; the cycle engine
+// allocates one at construction and reuses it.
+func newRowScratch(workers, n int) [][3][]float64 {
+	scr := make([][3][]float64, workers)
+	for i := range scr {
+		scr[i] = [3][]float64{
+			make([]float64, n),
+			make([]float64, n),
+			make([]float64, n),
+		}
+	}
+	return scr
 }
 
 // norm2u3 returns the discrete L2 norm (scaled by the interior point

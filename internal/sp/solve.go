@@ -34,8 +34,8 @@ func (b *Benchmark) fillEigenRows(ls *lineScratch, l, soff int, p *dirParams, ve
 
 // buildLHS assembles the three pentadiagonal factors for one line of
 // length n, given the already-filled cv/rho rows and the line's sound
-// speeds (speedAt(l)).
-func (b *Benchmark) buildLHS(ls *lineScratch, n int, p *dirParams, speedAt func(l int) float64) {
+// speeds at speed[sbase+l*sstride].
+func (b *Benchmark) buildLHS(ls *lineScratch, n int, p *dirParams, speed []float64, sbase, sstride int) {
 	// Identity boundary rows for all three factors (lhsinit).
 	for _, i := range [2]int{0, n - 1} {
 		for bd := 0; bd < 5; bd++ {
@@ -84,38 +84,39 @@ func (b *Benchmark) buildLHS(ls *lineScratch, n int, p *dirParams, speedAt func(
 	// Acoustic factors u+c and u-c.
 	for i = 1; i < n-1; i++ {
 		*band(ls.lhsp, 0, i) = *band(ls.lhs, 0, i)
-		*band(ls.lhsp, 1, i) = *band(ls.lhs, 1, i) - p.dtt2*speedAt(i-1)
+		*band(ls.lhsp, 1, i) = *band(ls.lhs, 1, i) - p.dtt2*speed[sbase+(i-1)*sstride]
 		*band(ls.lhsp, 2, i) = *band(ls.lhs, 2, i)
-		*band(ls.lhsp, 3, i) = *band(ls.lhs, 3, i) + p.dtt2*speedAt(i+1)
+		*band(ls.lhsp, 3, i) = *band(ls.lhs, 3, i) + p.dtt2*speed[sbase+(i+1)*sstride]
 		*band(ls.lhsp, 4, i) = *band(ls.lhs, 4, i)
 		*band(ls.lhsm, 0, i) = *band(ls.lhs, 0, i)
-		*band(ls.lhsm, 1, i) = *band(ls.lhs, 1, i) + p.dtt2*speedAt(i-1)
+		*band(ls.lhsm, 1, i) = *band(ls.lhs, 1, i) + p.dtt2*speed[sbase+(i-1)*sstride]
 		*band(ls.lhsm, 2, i) = *band(ls.lhs, 2, i)
-		*band(ls.lhsm, 3, i) = *band(ls.lhs, 3, i) - p.dtt2*speedAt(i+1)
+		*band(ls.lhsm, 3, i) = *band(ls.lhs, 3, i) - p.dtt2*speed[sbase+(i+1)*sstride]
 		*band(ls.lhsm, 4, i) = *band(ls.lhs, 4, i)
 	}
 }
 
 // solveFactor runs the scalar pentadiagonal Thomas algorithm on one
-// factor's bands, transforming the rhs components comps in place.
-func solveFactor(bands []float64, n int, comps []int, rhsAt func(l int) []float64) {
+// factor's bands, transforming in place the components comps of the
+// rhs 5-vectors at rhs[base+l*stride:].
+func solveFactor(bands []float64, n int, comps []int, rhs []float64, base, stride int) {
 	for i := 0; i <= n-3; i++ {
 		i1, i2 := i+1, i+2
 		fac1 := 1.0 / *band(bands, 2, i)
 		*band(bands, 3, i) *= fac1
 		*band(bands, 4, i) *= fac1
-		ri := rhsAt(i)
+		ri := rhs[base+i*stride:]
 		for _, m := range comps {
 			ri[m] *= fac1
 		}
-		r1 := rhsAt(i1)
+		r1 := rhs[base+i1*stride:]
 		b1 := *band(bands, 1, i1)
 		*band(bands, 2, i1) -= b1 * *band(bands, 3, i)
 		*band(bands, 3, i1) -= b1 * *band(bands, 4, i)
 		for _, m := range comps {
 			r1[m] -= b1 * ri[m]
 		}
-		r2 := rhsAt(i2)
+		r2 := rhs[base+i2*stride:]
 		b0 := *band(bands, 0, i2)
 		*band(bands, 1, i2) -= b0 * *band(bands, 3, i)
 		*band(bands, 2, i2) -= b0 * *band(bands, 4, i)
@@ -129,11 +130,11 @@ func solveFactor(bands []float64, n int, comps []int, rhsAt func(l int) []float6
 	fac1 := 1.0 / *band(bands, 2, i)
 	*band(bands, 3, i) *= fac1
 	*band(bands, 4, i) *= fac1
-	ri := rhsAt(i)
+	ri := rhs[base+i*stride:]
 	for _, m := range comps {
 		ri[m] *= fac1
 	}
-	r1 := rhsAt(i1)
+	r1 := rhs[base+i1*stride:]
 	b1 := *band(bands, 1, i1)
 	*band(bands, 2, i1) -= b1 * *band(bands, 3, i)
 	*band(bands, 3, i1) -= b1 * *band(bands, 4, i)
@@ -145,15 +146,15 @@ func solveFactor(bands []float64, n int, comps []int, rhsAt func(l int) []float6
 		r1[m] *= fac2
 	}
 	// Back substitution.
-	ri = rhsAt(n - 2)
-	r1 = rhsAt(n - 1)
+	ri = rhs[base+(n-2)*stride:]
+	r1 = rhs[base+(n-1)*stride:]
 	for _, m := range comps {
 		ri[m] -= *band(bands, 3, n-2) * r1[m]
 	}
 	for i := n - 3; i >= 0; i-- {
-		r := rhsAt(i)
-		rp1 := rhsAt(i + 1)
-		rp2 := rhsAt(i + 2)
+		r := rhs[base+i*stride:]
+		rp1 := rhs[base+(i+1)*stride:]
+		rp2 := rhs[base+(i+2)*stride:]
 		for _, m := range comps {
 			r[m] -= *band(bands, 3, i)*rp1[m] + *band(bands, 4, i)*rp2[m]
 		}
@@ -168,12 +169,15 @@ var (
 
 // solveDirectionLine factorizes and solves one grid line: convective
 // factor on components 1-3, acoustic factors on components 4 and 5.
+// The line's sound speeds live at speed[sbase+l*sstride] and its rhs
+// 5-vectors at rhs[rbase+l*rstride:]; both sweeps are affine in l for
+// every direction, so bases and strides replace accessor closures.
 func (b *Benchmark) solveDirectionLine(ls *lineScratch, n int, p *dirParams,
-	speedAt func(l int) float64, rhsAt func(l int) []float64) {
-	b.buildLHS(ls, n, p, speedAt)
-	solveFactor(ls.lhs, n, compsU, rhsAt)
-	solveFactor(ls.lhsp, n, compsP, rhsAt)
-	solveFactor(ls.lhsm, n, compsM, rhsAt)
+	speed []float64, sbase, sstride int, rhs []float64, rbase, rstride int) {
+	b.buildLHS(ls, n, p, speed, sbase, sstride)
+	solveFactor(ls.lhs, n, compsU, rhs, rbase, rstride)
+	solveFactor(ls.lhsp, n, compsP, rhs, rbase, rstride)
+	solveFactor(ls.lhsm, n, compsM, rhs, rbase, rstride)
 }
 
 // xSolve runs the xi-direction factor sweep followed by ninvr.
@@ -191,11 +195,8 @@ func (b *Benchmark) xSolve(tm *team.Team) {
 					b.fillEigenRows(ls, i, f.SAt(i, j, k), &p, f.Us)
 				}
 				b.solveDirectionLine(ls, n, &p,
-					func(l int) float64 { return f.Speed[f.SAt(l, j, k)] },
-					func(l int) []float64 {
-						off := f.FAt(0, l, j, k)
-						return f.Rhs[off : off+5]
-					})
+					f.Speed, f.SAt(0, j, k), 1,
+					f.Rhs, f.FAt(0, 0, j, k), 5)
 			}
 		}
 	})
@@ -217,11 +218,8 @@ func (b *Benchmark) ySolve(tm *team.Team) {
 					b.fillEigenRows(ls, j, f.SAt(i, j, k), &p, f.Vs)
 				}
 				b.solveDirectionLine(ls, n, &p,
-					func(l int) float64 { return f.Speed[f.SAt(i, l, k)] },
-					func(l int) []float64 {
-						off := f.FAt(0, i, l, k)
-						return f.Rhs[off : off+5]
-					})
+					f.Speed, f.SAt(i, 0, k), n,
+					f.Rhs, f.FAt(0, i, 0, k), 5*n)
 			}
 		}
 	})
@@ -243,11 +241,8 @@ func (b *Benchmark) zSolve(tm *team.Team) {
 					b.fillEigenRows(ls, k, f.SAt(i, j, k), &p, f.Ws)
 				}
 				b.solveDirectionLine(ls, n, &p,
-					func(l int) float64 { return f.Speed[f.SAt(i, j, l)] },
-					func(l int) []float64 {
-						off := f.FAt(0, i, j, l)
-						return f.Rhs[off : off+5]
-					})
+					f.Speed, f.SAt(i, j, 0), n*n,
+					f.Rhs, f.FAt(0, i, j, 0), 5*n*n)
 			}
 		}
 	})

@@ -270,6 +270,15 @@ func (b *Benchmark) phase(name string, fn func()) {
 	b.timers.Stop(name)
 }
 
+// Iter advances one steady-state time step on tm, whose Size must equal
+// the thread count the Benchmark was built with. Unlike the fully
+// hoisted kernels, SP still builds a handful of small phase/region
+// closures per step; the per-step count is pinned by the
+// internal/allocgate budget rather than driven to zero.
+func (b *Benchmark) Iter(tm *team.Team) {
+	b.adi(tm)
+}
+
 // Result reports one SP run.
 type Result struct {
 	XCR     [5]float64
@@ -295,7 +304,7 @@ func (b *Benchmark) Run() Result {
 
 	start := time.Now()
 	for step := 1; step <= b.niter; step++ {
-		b.adi(tm)
+		b.Iter(tm)
 	}
 	elapsed := time.Since(start)
 

@@ -31,12 +31,12 @@ func TestSolveFactorAgainstDenseSolve(t *testing.T) {
 			*band(bands, 3, i) = 0
 			*band(bands, 4, i) = 0
 		}
-		rhs := make([][]float64, n)
+		rhs := make([]float64, 5*n)
 		dense := make([]float64, n*n)
 		vec := make([]float64, n)
 		for i := 0; i < n; i++ {
-			rhs[i] = []float64{rng.Float64(), 0, 0, 0, 0}
-			vec[i] = rhs[i][0]
+			rhs[5*i] = rng.Float64()
+			vec[i] = rhs[5*i]
 			for bd := 0; bd < 5; bd++ {
 				col := i + bd - 2
 				if col >= 0 && col < n {
@@ -45,10 +45,10 @@ func TestSolveFactorAgainstDenseSolve(t *testing.T) {
 			}
 		}
 		want := denseSolve(dense, vec, n)
-		solveFactor(bands, n, []int{0}, func(l int) []float64 { return rhs[l] })
+		solveFactor(bands, n, []int{0}, rhs, 0, 5)
 		for i := 0; i < n; i++ {
-			if math.Abs(rhs[i][0]-want[i]) > 1e-9 {
-				t.Fatalf("trial %d cell %d: %v vs %v", trial, i, rhs[i][0], want[i])
+			if math.Abs(rhs[5*i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d cell %d: %v vs %v", trial, i, rhs[5*i], want[i])
 			}
 		}
 	}

@@ -185,7 +185,7 @@ func TestBarrierOrdersPhases(t *testing.T) {
 			atomic.StoreInt32(&violated, 1)
 		}
 	})
-	if violated != 0 {
+	if atomic.LoadInt32(&violated) != 0 {
 		t.Fatal("barrier let a worker through before all reached phase 1")
 	}
 }
@@ -206,8 +206,8 @@ func TestBarrierReusableManyTimes(t *testing.T) {
 			tm.Barrier()
 		}
 	})
-	if bad != 0 {
-		t.Fatalf("barrier misordered at step %d", bad)
+	if n := atomic.LoadInt32(&bad); n != 0 {
+		t.Fatalf("barrier misordered at step %d", n)
 	}
 }
 
@@ -231,7 +231,7 @@ func TestPipelineEnforcesOrder(t *testing.T) {
 			p.Post(id)
 		}
 	})
-	if bad != 0 {
+	if atomic.LoadInt32(&bad) != 0 {
 		t.Fatal("pipeline order violated")
 	}
 	for w := 0; w < n; w++ {
@@ -259,7 +259,7 @@ func TestPipelineReverse(t *testing.T) {
 			p.PostReverse(id)
 		}
 	})
-	if bad != 0 {
+	if atomic.LoadInt32(&bad) != 0 {
 		t.Fatal("reverse pipeline order violated")
 	}
 }

@@ -185,7 +185,7 @@ func validBenchmark(b Benchmark) bool {
 // accumulated; it is not meaningful for reporting.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //npblint:ignore ctxpropagate nil means "not cancellable"; Background is the documented default
 	}
 	if cfg.Threads == 0 {
 		cfg.Threads = 1
