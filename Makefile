@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak tables clean
+.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak schedule-check tables clean
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,18 @@ soak:
 	$(GO) run ./cmd/npbsuite -chaos -chaos-seed $(SOAK_SEED) -chaos-cells $(SOAK_CELLS) -class S -bench CG,EP -threads 1,2 -journal soak-journal.jsonl
 	$(GO) run ./cmd/npbsuite -check-journal soak-journal.jsonl
 
+# Schedule smoke: every loop schedule sweeps CG+IS class S under the
+# race detector, then a CG class-W sweep under -schedule auto must come
+# out of npbperf scaling without the §5.2 load-imbalance flag. The CI
+# schedule-matrix job runs the same steps, one schedule per matrix leg.
+SCHEDULES ?= static dynamic guided stealing auto
+schedule-check:
+	for s in $(SCHEDULES); do \
+		$(GO) run -race ./cmd/npbsuite -class S -bench CG,IS -threads 2,4 -schedule $$s -obs -obs-listen "" -obs-jsonl "" || exit 1; \
+	done
+	$(GO) run ./cmd/npbsuite -class W -bench CG -threads 1,2,4 -schedule auto -repeats 2 -obs -obs-listen "" -obs-jsonl "" -bench-json sched-auto.json
+	$(GO) run ./cmd/npbperf scaling -fail-on load-imbalance sched-auto.json
+
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)
 	$(GO) run ./cmd/jgflu -classes A,B,C
@@ -118,4 +130,4 @@ tables:
 clean:
 	$(GO) clean ./...
 	rm -rf bin
-	rm -f perf-base.json perf-head.json soak-journal.jsonl
+	rm -f perf-base.json perf-head.json soak-journal.jsonl sched-auto.json

@@ -18,6 +18,7 @@ func main() {
 	class := flag.String("class", "S", "problem class: S W A B C")
 	threads := flag.Int("threads", 1, "worker threads (1 = serial)")
 	warmup := flag.Bool("warmup", false, "apply the per-thread warmup load of the paper's §5.2 (CG)")
+	schedule := flag.String("schedule", "", "team loop schedule: static (default), dynamic, guided, stealing or auto")
 	verbose := flag.Bool("v", false, "print the full verification report")
 	profile := flag.Bool("profile", false, "print a per-phase timing profile (BT)")
 	flag.Parse()
@@ -31,6 +32,7 @@ func main() {
 		Class:     strings.ToUpper(*class)[0],
 		Threads:   *threads,
 		Warmup:    *warmup,
+		Schedule:  *schedule,
 		Profile:   *profile,
 	}
 	fmt.Printf("NAS Parallel Benchmarks (Go translation) - %s Benchmark\n", cfg.Benchmark)

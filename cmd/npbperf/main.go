@@ -5,7 +5,7 @@
 //
 //	npbperf stats   [-json] record.json...
 //	npbperf compare [-json] [-threshold 0.02] [-confidence 0.95] [-min-time 0.001] base.json head.json
-//	npbperf scaling [-json] [-imbalance 1.5] [-barrier-share 0.2] [-small-work 0.001] record.json...
+//	npbperf scaling [-json] [-imbalance 1.5] [-barrier-share 0.2] [-small-work 0.001] [-fail-on list] record.json...
 //
 // stats prints median/min/IQR and a bootstrap confidence interval of
 // the median for every cell of each record — run sweeps with
@@ -24,10 +24,14 @@
 // fraction per (benchmark, class) thread curve, plus rule-based
 // anomaly flags joined from the obs counters in the record:
 // load-imbalance (§5.2 CG), barrier-sync (§5 LU pipeline) and
-// small-work (§5 IS).
+// small-work (§5 IS). -fail-on takes a comma-separated list of those
+// anomaly names and turns any diagnosed occurrence into exit code 1,
+// which is how CI asserts that `-schedule auto` keeps the CG
+// load-imbalance flag clear.
 //
 // All subcommands take -json for machine-readable output. Exit codes:
-// 0 clean, 1 regression found (compare only), 2 usage or input error.
+// 0 clean, 1 regression found (compare, or scaling with -fail-on),
+// 2 usage or input error.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"npbgo/internal/perfstat"
 	"npbgo/internal/report"
@@ -69,7 +74,7 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, `usage:
   npbperf stats   [-json] record.json...
   npbperf compare [-json] [-threshold rel] [-confidence c] [-min-time sec] base.json head.json
-  npbperf scaling [-json] [-imbalance r] [-barrier-share s] [-small-work sec] record.json...
+  npbperf scaling [-json] [-imbalance r] [-barrier-share s] [-small-work sec] [-fail-on list] record.json...
 `)
 }
 
@@ -173,8 +178,13 @@ func runScaling(args []string, stdout, stderr io.Writer) int {
 	imbalance := fs.Float64("imbalance", 1.5, "imbalance ratio at which load-imbalance flags")
 	barrierShare := fs.Float64("barrier-share", 0.2, "barrier-wait share at which barrier-sync flags")
 	smallWork := fs.Float64("small-work", 0.001, "median seconds below which small-work flags")
+	failOn := fs.String("fail-on", "", "comma-separated anomaly names that make the exit code 1 when diagnosed")
 	if fs.Parse(args) != nil || fs.NArg() < 1 {
 		usage(stderr)
+		return 2
+	}
+	fatal, ok := parseFailOn(*failOn, stderr)
+	if !ok {
 		return 2
 	}
 	recs, ok := readRecords(fs.Args(), stderr)
@@ -186,6 +196,7 @@ func runScaling(args []string, stdout, stderr io.Writer) int {
 		BarrierShareMin: *barrierShare,
 		SmallWorkSec:    *smallWork,
 	}
+	exit := 0
 	for _, rec := range recs {
 		analysis := perfstat.Scaling(rec, opt)
 		if *jsonOut {
@@ -193,11 +204,45 @@ func runScaling(args []string, stdout, stderr io.Writer) int {
 				Stamp  string                  `json:"stamp"`
 				Groups []perfstat.BenchScaling `json:"groups"`
 			}{rec.Stamp, analysis})
-			continue
+		} else {
+			fmt.Fprintf(stdout, "record %s (GOMAXPROCS=%d, CPUs=%d)\n", rec.Stamp, rec.GoMaxProcs, rec.NumCPU)
+			fmt.Fprint(stdout, perfstat.ScalingTable(analysis))
+			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintf(stdout, "record %s (GOMAXPROCS=%d, CPUs=%d)\n", rec.Stamp, rec.GoMaxProcs, rec.NumCPU)
-		fmt.Fprint(stdout, perfstat.ScalingTable(analysis))
-		fmt.Fprintln(stdout)
+		for _, bs := range analysis {
+			for _, a := range bs.Anomalies {
+				if fatal[a] {
+					fmt.Fprintf(stderr, "npbperf: %s.%s diagnosed %s (listed in -fail-on)\n",
+						bs.Benchmark, bs.Class, a)
+					exit = 1
+				}
+			}
+		}
 	}
-	return 0
+	return exit
+}
+
+// parseFailOn turns the -fail-on list into an anomaly set, rejecting
+// names the scaling rules can never produce so a typo in a CI gate
+// fails the job instead of silently never matching.
+func parseFailOn(list string, stderr io.Writer) (map[perfstat.Anomaly]bool, bool) {
+	fatal := make(map[perfstat.Anomaly]bool)
+	if list == "" {
+		return fatal, true
+	}
+	known := map[perfstat.Anomaly]bool{
+		perfstat.LoadImbalance: true,
+		perfstat.BarrierSync:   true,
+		perfstat.SmallWork:     true,
+	}
+	for _, name := range strings.Split(list, ",") {
+		a := perfstat.Anomaly(strings.TrimSpace(name))
+		if !known[a] {
+			fmt.Fprintf(stderr, "npbperf: -fail-on: unknown anomaly %q (known: %s, %s, %s)\n",
+				a, perfstat.LoadImbalance, perfstat.BarrierSync, perfstat.SmallWork)
+			return nil, false
+		}
+		fatal[a] = true
+	}
+	return fatal, true
 }

@@ -190,6 +190,39 @@ func TestScalingGoldenRecord(t *testing.T) {
 	}
 }
 
+// TestScalingFailOn: the golden fixture diagnoses all three anomaly
+// classes, so -fail-on must turn each named one into exit 1, name the
+// flagged cell on stderr, stay 0 when the listed anomaly is absent
+// (loose thresholds), and reject unknown anomaly names up front — a
+// typo in a CI gate must fail the job, not silently never match.
+func TestScalingFailOn(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"scaling", "-fail-on", "load-imbalance", golden}, &out, &errBuf); code != 1 {
+		t.Fatalf("fail-on load-imbalance exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "load-imbalance") || !strings.Contains(errBuf.String(), "CG") {
+		t.Fatalf("stderr should name the anomaly and cell: %s", errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"scaling", "-fail-on", "load-imbalance,barrier-sync", "-json", golden}, &out, &errBuf); code != 1 {
+		t.Fatalf("fail-on list exit %d, want 1", code)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"scaling", "-imbalance", "99", "-fail-on", "load-imbalance", golden}, &out, &errBuf); code != 0 {
+		t.Fatalf("undiagnosed fail-on exit %d, want 0: %s", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"scaling", "-fail-on", "imbalance", golden}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown fail-on name exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "load-imbalance") {
+		t.Fatalf("error should list the known names: %s", errBuf.String())
+	}
+}
+
 func TestScalingJSONAndThresholds(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"scaling", "-json", golden}, &out, &errBuf); code != 0 {

@@ -11,6 +11,12 @@
 // it still fails, rendered as FAIL(reason) while the rest of the table
 // is produced; npbsuite then exits non-zero at the end.
 //
+// -schedule selects the team loop schedule for every cell (static —
+// the default — dynamic, guided, stealing or auto; see DESIGN.md §14).
+// Schedules redistribute loop chunks between workers without changing
+// any numerical result; the chosen name is stamped into each cell's
+// bench-record and journal rows so sweeps stay comparable.
+//
 // -list-faults prints the registered fault injection site keys (the
 // same registry the npblint faultsite analyzer checks) and exits.
 //
@@ -82,6 +88,7 @@ import (
 	"npbgo/internal/journal"
 	"npbgo/internal/obs"
 	"npbgo/internal/report"
+	"npbgo/internal/team"
 )
 
 func main() {
@@ -90,6 +97,7 @@ func main() {
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	repeats := flag.Int("repeats", 1, "repetitions per cell (best time kept)")
 	warmup := flag.Bool("warmup", false, "apply the CG warmup fix of §5.2")
+	schedule := flag.String("schedule", "", "team loop schedule: static (default), dynamic, guided, stealing or auto")
 	timeout := flag.Duration("timeout", 0, "per-run deadline, e.g. 5m (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retries per failed run, with exponential backoff")
 	obsFlag := flag.Bool("obs", false, "collect runtime metrics per cell and print the metrics summary")
@@ -144,6 +152,10 @@ func main() {
 		}
 	}
 	cl := strings.ToUpper(*class)[0]
+	if _, err := team.ParseSchedule(*schedule); err != nil {
+		fmt.Fprintf(os.Stderr, "npbsuite: %v\n", err)
+		os.Exit(2)
+	}
 
 	// ^C / SIGTERM cancels the sweep cooperatively: the current cell
 	// stops (hard-killed under -isolate), retries and backoffs are
@@ -179,6 +191,7 @@ func main() {
 
 	opt := harness.Options{
 		Warmup:   *warmup,
+		Schedule: *schedule,
 		Repeats:  *repeats,
 		Timeout:  *timeout,
 		Retries:  *retries,

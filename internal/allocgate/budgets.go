@@ -5,23 +5,14 @@ package allocgate
 // Lowering a budget is always safe; raising one is a performance
 // regression and needs the same scrutiny as a slower benchmark result.
 //
-// The fully hoisted kernels (CG, EP, FT, IS, MG, LU) hold a zero
-// budget at both classes: their region bodies are closures built once
-// at construction time, operands are staged through benchmark fields,
-// reductions go through the team's per-worker partial slots, and LU's
-// plane pipeline is cached per team. The zero entries for EP and CG
-// class S are the floor the roadmap requires; the rest reached zero
-// with the same refactor.
-//
-// BT and SP still build their phase and region closures per time step
-// — a handful of fixed-size allocations whose count is pinned here
-// (BT: 5 phase thunks plus the per-direction and rhs/add region
-// bodies; SP: 6 phase thunks plus the eigenvector-transform and solver
-// region bodies). They are deliberate: each allocation is ~tens of
-// bytes per *step* (not per grid point), invisible next to the O(n^3)
-// sweep they launch. The pinned budget keeps them from growing
-// silently; driving them to zero is future work tracked in the
-// ROADMAP.
+// Every kernel holds a zero budget at both classes: region bodies are
+// closures built once at construction time (including the nscore.Field
+// RHS bodies BT and SP share and their own solve/transform bodies),
+// operands are staged through benchmark fields, reductions go through
+// the team's block-indexed partial slots, and LU's plane pipeline is
+// cached per team. The former BT/SP per-step phase thunks were replaced
+// by plain Start/Stop calls, which is what took their budgets from
+// 22/30 to zero.
 var Budgets = map[Key]int{
 	{"cg", 'S'}: 0,
 	{"cg", 'W'}: 0,
@@ -43,9 +34,9 @@ var Budgets = map[Key]int{
 	{"lu", 'S'}: 0,
 	{"lu", 'W'}: 0,
 
-	{"bt", 'S'}: 22,
-	{"bt", 'W'}: 22,
+	{"bt", 'S'}: 0,
+	{"bt", 'W'}: 0,
 
-	{"sp", 'S'}: 30,
-	{"sp", 'W'}: 30,
+	{"sp", 'S'}: 0,
+	{"sp", 'W'}: 0,
 }

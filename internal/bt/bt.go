@@ -46,8 +46,19 @@ type Benchmark struct {
 	timers *timer.Set    // nil unless WithTimers
 	rec    *obs.Recorder // nil without WithObs
 	tr     *trace.Tracer // nil without WithTrace
+	sched  team.Schedule // loop schedule, Static without WithSchedule
 
 	scratch []*lineScratch // per-worker line solve storage
+
+	// Steady-state machinery: the solve bodies below are built once by
+	// New and reused every ADI step (a closure literal at the call site
+	// would allocate per invocation), keeping the timed loop free of
+	// heap allocation (enforced by internal/allocgate). tm stages the
+	// current step's team; the dirSpecs are precomputed from the
+	// constants.
+	tm                  *team.Team
+	dsX, dsY, dsZ       dirSpec
+	xBody, yBody, zBody func(id int)
 }
 
 // Option configures optional benchmark behaviour.
@@ -63,6 +74,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithSchedule selects the team's loop schedule for the plane loops of
+// the RHS evaluation and the three implicit solves; team.Static (the
+// default) is the paper's block distribution. Every loop writes
+// disjoint planes, so results are bit-identical under every schedule.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
 
 // WithTimers enables per-phase profiling of the ADI steps (rhs and the
 // three solves), as the paper does when analyzing where the translated
@@ -89,6 +106,7 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 	for i := range b.scratch {
 		b.scratch[i] = newLineScratch(spec.size)
 	}
+	b.buildBodies()
 	return b, nil
 }
 
@@ -106,7 +124,7 @@ type Result struct {
 // with re-initialization (as bt.f), then niter timed ADI steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

@@ -57,6 +57,7 @@ type Benchmark struct {
 	rec     *obs.Recorder   // nil without WithObs
 	tr      *trace.Tracer   // nil without WithTrace
 	timers  *timer.Set      // nil without WithTimers
+	sched   team.Schedule   // loop schedule, Static without WithSchedule
 
 	ballastBytes int
 	ballast      [][]float64 // per-worker ballast, nil without WithBallast
@@ -111,6 +112,11 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithSchedule selects the team's loop schedule — the knob §5.2's
+// load-imbalance diagnosis calls for. The default is team.Static, the
+// paper's block distribution.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
 
 // WithTimers enables the per-phase profile (t_conj_grad, t_norm), the
 // cg.f timer slots the paper's profiling discussion uses.
@@ -168,93 +174,104 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 }
 
 // buildBodies constructs every parallel-region body once. Each is a
-// func(id int) handed straight to Team.Run; block bounds come from
-// team.Block inside the body and loop-variant scalars from Benchmark
-// fields, so no closure is created in the timed loop.
+// func(id int) handed straight to Team.Run; loop shares come from the
+// team's schedule iterator inside the body and loop-variant scalars
+// from Benchmark fields, so no closure is created in the timed loop.
+// The reduction bodies iterate block-granularity chunks (ReduceBlocks)
+// and store each chunk's partial under its block index, keeping
+// PartialSum bit-identical to the static schedule whichever worker ran
+// which block.
 func (b *Benchmark) buildBodies() {
 	n := b.p.na
 
 	//npblint:hot vector init, constructed once and reused every conjGrad call
 	b.initBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		x, z, p, q, r := b.x, b.z, b.pv, b.q, b.r
-		for i := lo; i < hi; i++ {
-			q[i] = 0
-			z[i] = 0
-			r[i] = x[i]
-			p[i] = x[i]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				q[i] = 0
+				z[i] = 0
+				r[i] = x[i]
+				p[i] = x[i]
+			}
 		}
 	}
 
 	//npblint:hot sparse mat-vec q = A p, the kernel of every inner iteration
 	b.spmvPQBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		rowstr, colidx, a := b.rowstr, b.colidx, b.a
 		in, out := b.pv, b.q
-		for i := lo; i < hi; i++ {
-			sum := 0.0
-			for k := rowstr[i]; k < rowstr[i+1]; k++ {
-				sum += a[k] * in[colidx[k]]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				sum := 0.0
+				for k := rowstr[i]; k < rowstr[i+1]; k++ {
+					sum += a[k] * in[colidx[k]]
+				}
+				out[i] = sum
 			}
-			out[i] = sum
 		}
 	}
 
 	//npblint:hot sparse mat-vec r = A z for the residual norm
 	b.spmvZRBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		rowstr, colidx, a := b.rowstr, b.colidx, b.a
 		in, out := b.z, b.r
-		for i := lo; i < hi; i++ {
-			sum := 0.0
-			for k := rowstr[i]; k < rowstr[i+1]; k++ {
-				sum += a[k] * in[colidx[k]]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				sum := 0.0
+				for k := rowstr[i]; k < rowstr[i+1]; k++ {
+					sum += a[k] * in[colidx[k]]
+				}
+				out[i] = sum
 			}
-			out[i] = sum
 		}
 	}
 
 	//npblint:hot z/r update with the iteration's alpha read from the Benchmark
 	b.axpyBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		alpha := b.alpha
 		z, r, p, q := b.z, b.r, b.pv, b.q
-		for i := lo; i < hi; i++ {
-			z[i] += alpha * p[i]
-			r[i] -= alpha * q[i]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				z[i] += alpha * p[i]
+				r[i] -= alpha * q[i]
+			}
 		}
 	}
 
 	//npblint:hot search-direction update with the iteration's beta
 	b.pUpdBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		beta := b.beta
 		p, r := b.pv, b.r
-		for i := lo; i < hi; i++ {
-			p[i] = r[i] + beta*p[i]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				p[i] = r[i] + beta*p[i]
+			}
 		}
 	}
 
-	//npblint:hot partial sums of ||x - A z||^2 into the team's reduction slots
+	//npblint:hot partial sums of ||x - A z||^2 into the block-indexed slots
 	b.residBody = func(id int) {
 		tm := b.tm
-		lo, hi := team.Block(0, n, tm.Size(), id)
 		x, r := b.x, b.r
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			d := x[i] - r[i]
-			s += d * d
+		for it := tm.ReduceBlocks(id, 0, n); it.Next(); {
+			s := 0.0
+			for i := it.Lo; i < it.Hi; i++ {
+				d := x[i] - r[i]
+				s += d * d
+			}
+			*tm.Partial(it.Chunk()) = s
 		}
-		*tm.Partial(id) = s
 	}
 
 	//npblint:hot x = z/||z|| with the norm's reciprocal read from the Benchmark
 	b.scaleBody = func(id int) {
-		lo, hi := team.Block(0, n, b.tm.Size(), id)
 		inv := b.scaleInv
 		x, z := b.x, b.z
-		for i := lo; i < hi; i++ {
-			x[i] = inv * z[i]
+		for it := b.tm.Loop(id, 0, n); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				x[i] = inv * z[i]
+			}
 		}
 	}
 
@@ -262,12 +279,13 @@ func (b *Benchmark) buildBodies() {
 	b.dotBody = func(id int) {
 		tm := b.tm
 		u, v := b.dotA, b.dotB
-		lo, hi := team.Block(0, len(u), tm.Size(), id)
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += u[i] * v[i]
+		for it := tm.ReduceBlocks(id, 0, len(u)); it.Next(); {
+			s := 0.0
+			for i := it.Lo; i < it.Hi; i++ {
+				s += u[i] * v[i]
+			}
+			*tm.Partial(it.Chunk()) = s
 		}
-		*tm.Partial(id) = s
 	}
 
 	//npblint:hot per-worker ballast streaming (no-op without WithBallast)
@@ -301,7 +319,7 @@ type Result struct {
 // Run executes the benchmark: one untimed feed-through iteration, then
 // niter timed outer iterations, then verification, following cg.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -60,8 +60,9 @@ type Benchmark struct {
 	rec     *obs.Recorder   // nil without WithObs
 	tr      *trace.Tracer   // nil without WithTrace
 	timers  *timer.Set      // nil without WithTimers
+	sched   team.Schedule   // loop schedule, Static without WithSchedule
 
-	states []batchState // per-worker tallies, reset each Iter
+	states []batchState // per-block tallies, reset each Iter
 	x      [][]float64  // per-worker vranlc scratch, 2*nk doubles each
 	phases []string     // per-worker timer names when profiling
 	tm     *team.Team   // team of the current Iter, read by body
@@ -86,6 +87,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithSchedule selects the team's loop schedule for the batch sweep;
+// team.Static (the default) is the paper's block distribution. Batch
+// tallies are indexed by static block, not by worker, so the summed
+// result is bit-identical under every schedule.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
 
 // WithTimers enables the per-worker phase profile: each worker charges
 // its batch loop to its own timer (t_batch/w<id>) on a concurrent set,
@@ -137,27 +144,30 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 			b.phases[id] = timer.Worker("t_batch", id)
 		}
 	}
-	//npblint:hot per-worker batch sweep, constructed once and reused every run
+	//npblint:hot per-worker batch sweep, constructed once and reused every run.
+	// Tallies accumulate per static block (it.Chunk()), not per worker, so
+	// the final sums are bit-identical under every schedule.
 	b.body = func(id int) {
 		tm := b.tm
-		lo, hi := team.Block(0, b.nn, b.threads, id)
 		x := b.x[id]
-		st := &b.states[id]
 		phase := ""
 		if b.timers != nil {
 			phase = b.phases[id]
 		}
-		for kk := lo; kk < hi; kk++ {
-			if tm.Cancelled() {
-				return
-			}
-			fault.Maybe("ep.batch")
-			if phase != "" {
-				b.timers.Start(phase)
-			}
-			runBatch(kk, b.an, st, x)
-			if phase != "" {
-				b.timers.Stop(phase)
+		for it := tm.ReduceBlocks(id, 0, b.nn); it.Next(); {
+			st := &b.states[it.Chunk()]
+			for kk := it.Lo; kk < it.Hi; kk++ {
+				if tm.Cancelled() {
+					return
+				}
+				fault.Maybe("ep.batch")
+				if phase != "" {
+					b.timers.Start(phase)
+				}
+				runBatch(kk, b.an, st, x)
+				if phase != "" {
+					b.timers.Stop(phase)
+				}
 			}
 		}
 	}
@@ -226,7 +236,7 @@ func runBatch(kk int, an float64, st *batchState, x []float64) {
 
 // Run executes the kernel and returns its result.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

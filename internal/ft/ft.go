@@ -71,6 +71,7 @@ type Benchmark struct {
 	ctx     context.Context // nil means not cancellable
 	rec     *obs.Recorder   // nil without WithObs
 	tr      *trace.Tracer   // nil without WithTrace
+	sched   team.Schedule   // loop schedule, Static without WithSchedule
 
 	c          cube
 	u0, u1, u2 []complex128
@@ -110,6 +111,10 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithSchedule selects the team's loop schedule for the FFT plane
+// sweeps; team.Static (the default) is the paper's block distribution.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
 
 // WithContext makes Run cancellable: when ctx expires the team is
 // cancelled and the timed iteration loop stops within about one
@@ -159,51 +164,56 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 }
 
 // buildBodies constructs every parallel-region body once. Each is a
-// func(id int) handed straight to Team.Run; block bounds come from
-// team.Block inside the body, scratch from the per-worker pools, and
-// the FFT operands from the fft* staging fields, so the timed loop
-// creates no closures.
+// func(id int) handed straight to Team.Run; loop shares come from the
+// team's schedule iterator inside the body, scratch from the per-worker
+// pools, and the FFT operands from the fft* staging fields, so the
+// timed loop creates no closures.
 func (b *Benchmark) buildBodies() {
 	//npblint:hot random plane fill with the per-worker scratch buffer
 	b.initCondBody = func(id int) {
 		nx, ny, nz := b.p.nx, b.p.ny, b.p.nz
-		klo, khi := team.Block(0, nz, b.tm.Size(), id)
 		scratch := b.icScratch[id]
-		for k := klo; k < khi; k++ {
-			x0 := b.starts[k]
-			randdp.Vranlc(len(scratch), &x0, randdp.A, scratch)
-			base := b.c.at(0, 0, k)
-			for e := 0; e < nx*ny; e++ {
-				b.u1[base+e] = complex(scratch[2*e], scratch[2*e+1])
+		for it := b.tm.Loop(id, 0, nz); it.Next(); {
+			for k := it.Lo; k < it.Hi; k++ {
+				x0 := b.starts[k]
+				randdp.Vranlc(len(scratch), &x0, randdp.A, scratch)
+				base := b.c.at(0, 0, k)
+				for e := 0; e < nx*ny; e++ {
+					b.u1[base+e] = complex(scratch[2*e], scratch[2*e+1])
+				}
 			}
 		}
 	}
 
 	//npblint:hot spectral evolution u0 *= twiddle, u1 = u0
 	b.evolveBody = func(id int) {
-		lo, hi := team.Block(0, b.c.len(), b.tm.Size(), id)
-		for i := lo; i < hi; i++ {
-			b.u0[i] *= complex(b.twiddle[i], 0)
-			b.u1[i] = b.u0[i]
+		for it := b.tm.Loop(id, 0, b.c.len()); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				b.u0[i] *= complex(b.twiddle[i], 0)
+				b.u1[i] = b.u0[i]
+			}
 		}
 	}
 
 	//npblint:hot first-dimension FFT over the staged operands
 	b.c1Body = func(id int) {
-		klo, khi := team.Block(0, b.c.d3, b.tm.Size(), id)
-		cffts1Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r1, b.ws[id], klo, khi)
+		for it := b.tm.Loop(id, 0, b.c.d3); it.Next(); {
+			cffts1Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r1, b.ws[id], it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot second-dimension FFT over the staged operands
 	b.c2Body = func(id int) {
-		klo, khi := team.Block(0, b.c.d3, b.tm.Size(), id)
-		cffts2Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r2, b.ws[id], klo, khi)
+		for it := b.tm.Loop(id, 0, b.c.d3); it.Next(); {
+			cffts2Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r2, b.ws[id], it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot third-dimension FFT over the staged operands
 	b.c3Body = func(id int) {
-		jlo, jhi := team.Block(0, b.c.d2, b.tm.Size(), id)
-		cffts3Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r3, b.ws[id], jlo, jhi)
+		for it := b.tm.Loop(id, 0, b.c.d2); it.Next(); {
+			cffts3Range(b.fftDir, b.c, b.fftIn, b.fftOut, b.r3, b.ws[id], it.Lo, it.Hi)
+		}
 	}
 }
 
@@ -313,7 +323,7 @@ type Result struct {
 // section (initialization, forward FFT, niter evolve/inverse-FFT/
 // checksum steps), then verification, following ft.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

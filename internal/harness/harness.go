@@ -54,6 +54,10 @@ type Run struct {
 	// Replayed marks a cell restored from a journal on resume instead of
 	// executed; its numbers are the earlier run's.
 	Replayed bool
+	// Schedule is the loop schedule the cell ran under ("" means
+	// static), stamped from Options.Schedule so journaled records stay
+	// comparable across scheduling policies.
+	Schedule string
 }
 
 // SkipError marks a cell the harness refused to launch — today always
@@ -94,11 +98,15 @@ type Sweep struct {
 
 // Options tunes sweep execution.
 type Options struct {
-	Warmup  bool          // apply the CG warmup fix of §5.2
-	Repeats int           // repetitions per cell, best time kept; < 1 means 1
-	Timeout time.Duration // per-attempt deadline; 0 means unbounded
-	Retries int           // extra attempts after a failed one, per repeat
-	Backoff time.Duration // first retry delay, doubling each retry; 0 means 100ms
+	Warmup  bool // apply the CG warmup fix of §5.2
+	Repeats int  // repetitions per cell, best time kept; < 1 means 1
+	// Schedule selects the team loop schedule for every cell
+	// (npbgo.Config.Schedule): "static" (default when empty), "dynamic",
+	// "guided", "stealing" or "auto".
+	Schedule string
+	Timeout  time.Duration // per-attempt deadline; 0 means unbounded
+	Retries  int           // extra attempts after a failed one, per repeat
+	Backoff  time.Duration // first retry delay, doubling each retry; 0 means 100ms
 
 	// Obs enables runtime-metrics collection (npbgo.Config.Obs) for
 	// every cell; each cell's snapshot lands in Run.Obs.
@@ -247,7 +255,8 @@ func cellConfig(bench npbgo.Benchmark, class byte, threads int, opt Options) npb
 		n = 1 // the serial baseline runs with one inline worker
 	}
 	return npbgo.Config{Benchmark: bench, Class: class, Threads: n,
-		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != ""}
+		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != "",
+		Schedule: opt.Schedule}
 }
 
 // PlannedCells is the journal's cell list for a sweep set: for every
@@ -276,6 +285,7 @@ func RunFromMetrics(m report.CellMetrics) Run {
 		Verified: m.Verified,
 		Attempts: m.Attempts,
 		Replayed: true,
+		Schedule: m.Schedule,
 	}
 	for _, s := range m.Samples {
 		r.Samples = append(r.Samples, time.Duration(s*float64(time.Second)))
@@ -306,12 +316,13 @@ func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int
 			// which is exactly what a post-mortem wants to see — plus
 			// the samples of the repeats that did complete.
 			return Run{Threads: threads, Attempts: attempts, Samples: samples,
-				Err: err, Obs: res.Obs, Phases: res.Phases, Trace: res.Trace}
+				Err: err, Obs: res.Obs, Phases: res.Phases, Trace: res.Trace,
+				Schedule: opt.Schedule}
 		}
 		samples = append(samples, res.Elapsed)
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
 			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases,
-			Trace: res.Trace}
+			Trace: res.Trace, Schedule: opt.Schedule}
 		if best == nil || r.Elapsed < best.Elapsed {
 			cp := r
 			best = &cp
@@ -569,6 +580,7 @@ func cellMetrics(bench npbgo.Benchmark, class byte, r Run) report.CellMetrics {
 		Verified:  r.Verified,
 		Attempts:  r.Attempts,
 		TopPhases: topPhases(r.Phases, 5),
+		Schedule:  r.Schedule,
 	}
 	if len(r.Samples) > 0 {
 		m.Samples = make([]float64, len(r.Samples))

@@ -50,6 +50,7 @@ type Benchmark struct {
 	buckets bool          // bucketed ranking (the C original's USE_BUCKETS path)
 	rec     *obs.Recorder // nil without WithObs
 	tr      *trace.Tracer // nil without WithTrace
+	sched   team.Schedule // loop schedule, Static without WithSchedule
 
 	keys  []int32 // the key array (regenerated at the start of Run)
 	buff2 []int32 // key copy used during ranking
@@ -88,6 +89,14 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithSchedule selects the team's loop schedule for the histogram
+// phases; team.Static (the default) keeps the paper's block
+// distribution. The bucketed variant's count/scatter phases always stay
+// static (their write cursors are worker-identity-coupled), but the
+// skewed bucket-density loop — the load-imbalance hot spot — follows
+// the schedule.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
 
 // WithBuckets selects the bucketed ranking algorithm: keys are first
 // scattered into 2^10 coarse buckets, then counted bucket-by-bucket,
@@ -133,31 +142,38 @@ func New(class byte, threads int, opts ...Option) (*Benchmark, error) {
 }
 
 // buildBodies constructs the two ranking-region bodies once. Each is a
-// func(id int) handed straight to Team.Run, with block bounds from
-// team.Block inside the body, so no closure is created per pass.
+// func(id int) handed straight to Team.Run, with loop shares from the
+// team's schedule iterator inside the body, so no closure is created
+// per pass. Both histogram phases are integer sums over disjoint
+// outputs, so any schedule produces identical ranks.
 func (b *Benchmark) buildBodies() {
 	//npblint:hot straight histogram ranking, one region per pass
 	b.straightBody = func(id int) {
 		tm := b.tm
-		lo, hi := team.Block(0, b.numKeys, tm.Size(), id)
 		loc := b.local[id]
 		for i := range loc {
 			loc[i] = 0
 		}
-		for i := lo; i < hi; i++ {
-			b.buff2[i] = b.keys[i]
-			loc[b.buff2[i]]++
+		// Each worker histograms whatever key chunks it claims; the
+		// combine below sums the same per-worker counts regardless of
+		// which chunks landed where.
+		for it := tm.Loop(id, 0, b.numKeys); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				b.buff2[i] = b.keys[i]
+				loc[b.buff2[i]]++
+			}
 		}
 		tm.BarrierID(id)
-		// Combine local histograms into the global density, each
-		// worker owning a contiguous key sub-range.
-		klo, khi := team.Block(0, b.maxKey, tm.Size(), id)
-		for key := klo; key < khi; key++ {
-			sum := int32(0)
-			for w := 0; w < tm.Size(); w++ {
-				sum += b.local[w][key]
+		// Combine local histograms into the global density, each chunk
+		// owning a contiguous key sub-range.
+		for it := tm.Loop(id, 0, b.maxKey); it.Next(); {
+			for key := it.Lo; key < it.Hi; key++ {
+				sum := int32(0)
+				for w := 0; w < tm.Size(); w++ {
+					sum += b.local[w][key]
+				}
+				b.dens[key] = sum
 			}
-			b.dens[key] = sum
 		}
 	}
 
@@ -166,7 +182,10 @@ func (b *Benchmark) buildBodies() {
 		tm := b.tm
 		size := tm.Size()
 		shift := b.shift
-		// Per-worker bucket counts over this worker's key block.
+		// Per-worker bucket counts over this worker's key block. The
+		// count and scatter phases must stay on the static Block split:
+		// the per-(worker,bucket) write cursors computed between them
+		// assume each worker scatters exactly the keys it counted.
 		lo, hi := team.Block(0, b.numKeys, size, id)
 		cnt := b.bucketSize[id*nbuckets : (id+1)*nbuckets]
 		for i := range cnt {
@@ -199,11 +218,16 @@ func (b *Benchmark) buildBodies() {
 			ptr[bk]++
 		}
 		tm.BarrierID(id)
-		// Count keys bucket-by-bucket: each worker owns a contiguous
+		// Count keys bucket-by-bucket: each chunk owns a contiguous
 		// range of buckets, hence a contiguous, disjoint slice of the
-		// density array — no combining needed.
-		blo, bhi := team.Block(0, nbuckets, size, id)
-		if blo < bhi {
+		// density array — no combining needed. This is the skewed loop
+		// (the Gaussian key distribution loads the middle buckets), so
+		// it runs under the team's schedule.
+		for it := tm.Loop(id, 0, nbuckets); it.Next(); {
+			blo, bhi := it.Lo, it.Hi
+			if blo >= bhi {
+				continue
+			}
 			kmin := blo << shift
 			kmax := bhi << shift
 			if kmax > b.maxKey {
@@ -328,7 +352,7 @@ type Result struct {
 // Run executes the benchmark: key generation (untimed), one untimed
 // ranking pass, maxIterations timed passes, then full verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.createSeq()

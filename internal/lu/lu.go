@@ -48,6 +48,7 @@ type Benchmark struct {
 	timers  *timer.Set
 	rec     *obs.Recorder // nil without WithObs
 	tr      *trace.Tracer // nil without WithTrace
+	sched   team.Schedule // loop schedule, Static without WithSchedule
 	c       nscore.Consts
 
 	u, rsd, frct []float64 // 5-vector fields, m fastest
@@ -107,6 +108,13 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
 
+// WithSchedule selects the team's loop schedule for the explicit
+// phases (operator sweeps, residual init/scale, flow update);
+// team.Static (the default) is the paper's block distribution. The
+// pipelined triangular sweeps always keep the static j-split: the
+// per-plane Wait/Post handshake assumes worker id owns a fixed band.
+func WithSchedule(s team.Schedule) Option { return func(b *Benchmark) { b.sched = s } }
+
 // WithHyperplane selects hyperplane (wavefront) scheduling for the
 // triangular sweeps instead of the default j-pipelined scheduling — the
 // LU-HP variant, used by the scheduling ablation benchmark.
@@ -151,38 +159,43 @@ func (b *Benchmark) buildBodies() {
 
 	//npblint:hot xi-direction operator over the staged operands
 	b.xiBody = func(id int) {
-		klo, khi := team.Block(1, n-1, b.tm.Size(), id)
-		b.xiFluxRange(b.opOut, b.opW, b.scratch[id].flux, klo, khi)
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			b.xiFluxRange(b.opOut, b.opW, b.scratch[id].flux, it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot eta-direction operator over the staged operands
 	b.etaBody = func(id int) {
-		klo, khi := team.Block(1, n-1, b.tm.Size(), id)
-		b.etaFluxRange(b.opOut, b.opW, b.scratch[id].flux, klo, khi)
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			b.etaFluxRange(b.opOut, b.opW, b.scratch[id].flux, it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot zeta-direction operator over the staged operands
 	b.zetaBody = func(id int) {
-		jlo, jhi := team.Block(1, n-1, b.tm.Size(), id)
-		b.zetaFluxRange(b.opOut, b.opW, b.scratch[id].flux, jlo, jhi)
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			b.zetaFluxRange(b.opOut, b.opW, b.scratch[id].flux, it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot residual initialization rsd = -frct
 	b.rhsInitBody = func(id int) {
-		lo, hi := team.Block(0, len(b.rsd), b.tm.Size(), id)
-		for i := lo; i < hi; i++ {
-			b.rsd[i] = -b.frct[i]
+		for it := b.tm.Loop(id, 0, len(b.rsd)); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				b.rsd[i] = -b.frct[i]
+			}
 		}
 	}
 
 	//npblint:hot residual scaling by the pseudo-time step
 	b.scaleBody = func(id int) {
-		klo, khi := team.Block(1, n-1, b.tm.Size(), id)
-		for k := klo; k < khi; k++ {
-			for j := 1; j < n-1; j++ {
-				off := b.at(1, j, k)
-				for e := 0; e < 5*(n-2); e++ {
-					b.rsd[off+e] *= b.c.Dt
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			for k := it.Lo; k < it.Hi; k++ {
+				for j := 1; j < n-1; j++ {
+					off := b.at(1, j, k)
+					for e := 0; e < 5*(n-2); e++ {
+						b.rsd[off+e] *= b.c.Dt
+					}
 				}
 			}
 		}
@@ -191,16 +204,22 @@ func (b *Benchmark) buildBodies() {
 	//npblint:hot flow-variable update u += tmp*rsd
 	b.updateBody = func(id int) {
 		tmp := 1.0 / (omega * (2.0 - omega))
-		klo, khi := team.Block(1, n-1, b.tm.Size(), id)
-		for k := klo; k < khi; k++ {
-			for j := 1; j < n-1; j++ {
-				off := b.at(1, j, k)
-				for e := 0; e < 5*(n-2); e++ {
-					b.u[off+e] += tmp * b.rsd[off+e]
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			for k := it.Lo; k < it.Hi; k++ {
+				for j := 1; j < n-1; j++ {
+					off := b.at(1, j, k)
+					for e := 0; e < 5*(n-2); e++ {
+						b.u[off+e] += tmp * b.rsd[off+e]
+					}
 				}
 			}
 		}
 	}
+
+	// The pipelined sweeps below must keep the static team.Block split:
+	// each worker's Wait/Post handshake with its neighbours assumes
+	// worker id owns the same fixed j-band on every k-plane, which a
+	// dynamic chunk assignment would break.
 
 	//npblint:hot lower-triangular sweep, pipelined forward over planes
 	b.lowerBody = func(id int) {
@@ -422,7 +441,7 @@ type Result struct {
 // initialization, forcing computation, then itmax timed SSOR iterations
 // and verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.setbv()

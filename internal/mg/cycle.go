@@ -38,51 +38,56 @@ func newCycle(workers, maxN1 int, a, c [4]float64) *cycle {
 	//npblint:hot residual stencil over the staged operands
 	cy.residBody = func(id int) {
 		l := cy.stF
-		k0, k1 := team.Block(1, l.n3-1, cy.tm.Size(), id)
-		residRange(cy.stR, cy.stU, cy.stV, l, &cy.a, cy.rows[id][0], cy.rows[id][1], k0, k1)
+		for it := cy.tm.Loop(id, 1, l.n3-1); it.Next(); {
+			residRange(cy.stR, cy.stU, cy.stV, l, &cy.a, cy.rows[id][0], cy.rows[id][1], it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot smoother stencil over the staged operands
 	cy.psinvBody = func(id int) {
 		l := cy.stF
-		k0, k1 := team.Block(1, l.n3-1, cy.tm.Size(), id)
-		psinvRange(cy.stR, cy.stU, l, &cy.c, cy.rows[id][0], cy.rows[id][1], k0, k1)
+		for it := cy.tm.Loop(id, 1, l.n3-1); it.Next(); {
+			psinvRange(cy.stR, cy.stU, l, &cy.c, cy.rows[id][0], cy.rows[id][1], it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot full-weighting restriction over the staged operands
 	cy.rprj3Body = func(id int) {
-		j3lo, j3hi := team.Block(1, cy.stC.n3-1, cy.tm.Size(), id)
-		rprj3Range(cy.stR, cy.stF, cy.stU, cy.stC, cy.rows[id][0], cy.rows[id][1], j3lo, j3hi)
+		for it := cy.tm.Loop(id, 1, cy.stC.n3-1); it.Next(); {
+			rprj3Range(cy.stR, cy.stF, cy.stU, cy.stC, cy.rows[id][0], cy.rows[id][1], it.Lo, it.Hi)
+		}
 	}
 
 	//npblint:hot trilinear prolongation over the staged operands
 	cy.interpBody = func(id int) {
-		i3lo, i3hi := team.Block(0, cy.stC.n3-1, cy.tm.Size(), id)
-		interpRange(cy.stR, cy.stC, cy.stU, cy.stF, cy.rows[id][0], cy.rows[id][1], cy.rows[id][2], i3lo, i3hi)
+		for it := cy.tm.Loop(id, 0, cy.stC.n3-1); it.Next(); {
+			interpRange(cy.stR, cy.stC, cy.stU, cy.stF, cy.rows[id][0], cy.rows[id][1], cy.rows[id][2], it.Lo, it.Hi)
+		}
 	}
 
-	//npblint:hot residual norms into the reduction and max slots
+	//npblint:hot residual norms into the block-indexed reduction and max slots
 	cy.normBody = func(id int) {
 		tm := cy.tm
 		l := cy.stF
 		r := cy.stR
 		n1, n2 := l.n1, l.n2
-		k0, k1 := team.Block(1, l.n3-1, tm.Size(), id)
-		s, m := 0.0, 0.0
-		for i3 := k0; i3 < k1; i3++ {
-			for i2 := 1; i2 < n2-1; i2++ {
-				c := l.at(0, i2, i3)
-				for i1 := 1; i1 < n1-1; i1++ {
-					v := r[c+i1]
-					s += v * v
-					if a := math.Abs(v); a > m {
-						m = a
+		for it := tm.ReduceBlocks(id, 1, l.n3-1); it.Next(); {
+			s, m := 0.0, 0.0
+			for i3 := it.Lo; i3 < it.Hi; i3++ {
+				for i2 := 1; i2 < n2-1; i2++ {
+					c := l.at(0, i2, i3)
+					for i1 := 1; i1 < n1-1; i1++ {
+						v := r[c+i1]
+						s += v * v
+						if a := math.Abs(v); a > m {
+							m = a
+						}
 					}
 				}
 			}
+			*tm.Partial(it.Chunk()) = s
+			cy.maxs[it.Chunk()] = m
 		}
-		*tm.Partial(id) = s
-		cy.maxs[id] = m
 	}
 
 	return cy

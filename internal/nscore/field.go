@@ -26,6 +26,23 @@ type Field struct {
 	// Speed is the local sound speed, allocated only for SP (nil
 	// otherwise); ComputeRHS fills it when present.
 	Speed []float64
+
+	// Steady-state machinery: the region bodies below are built once by
+	// NewField and reused on every ComputeRHS/Add call (a closure
+	// literal at the call site would allocate per invocation), keeping
+	// the timed loops of BT and SP free of heap allocation (enforced by
+	// internal/allocgate). stC/stTm stage the current call's operands.
+	stC  *Consts
+	stTm *team.Team
+
+	primBody  func(id int)
+	forceBody func(id int)
+	xiBody    func(id int)
+	etaBody   func(id int)
+	zetaBody  func(id int)
+	zDissBody func(id int)
+	scaleBody func(id int)
+	addBody   func(id int)
 }
 
 // NewField allocates a zeroed field for an n^3 grid. withSpeed also
@@ -47,6 +64,7 @@ func NewField(n int, withSpeed bool) *Field {
 	if withSpeed {
 		f.Speed = make([]float64, n3)
 	}
+	f.buildBodies()
 	return f
 }
 
@@ -66,19 +84,8 @@ func (f *Field) SAt(i, j, k int) int {
 // Add applies the update u += rhs on the interior (the last step of
 // each ADI iteration).
 func (f *Field) Add(tm *team.Team) {
-	n := f.N
-	tm.ForBlock(1, n-1, func(klo, khi int) {
-		for k := klo; k < khi; k++ {
-			for j := 1; j < n-1; j++ {
-				for i := 1; i < n-1; i++ {
-					uo := f.UAt(0, i, j, k)
-					for m := 0; m < 5; m++ {
-						f.U[uo+m] += f.Rhs[uo+m]
-					}
-				}
-			}
-		}
-	})
+	f.stTm = tm
+	tm.Run(f.addBody)
 }
 
 // ErrorNorm computes the RMS difference between U and the exact

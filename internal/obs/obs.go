@@ -28,9 +28,11 @@ import (
 // concurrent workers never false-share (the same trick the team's
 // reduction partials use).
 type slot struct {
-	busyNs atomic.Int64 // time spent inside region bodies
-	waitNs atomic.Int64 // time parked on id-attributed barriers
-	_      [112]byte    // pad the two 8-byte atomics to 128 bytes
+	busyNs atomic.Int64  // time spent inside region bodies
+	waitNs atomic.Int64  // time parked on id-attributed barriers
+	chunks atomic.Uint64 // loop chunks claimed under a non-static schedule
+	steals atomic.Uint64 // chunks taken from another worker's deque
+	_      [96]byte      // pad the four 8-byte atomics to 128 bytes
 }
 
 // Recorder accumulates runtime metrics for one team. All methods are
@@ -45,6 +47,7 @@ type Recorder struct {
 	barrierWaits  atomic.Uint64 // await calls that actually blocked
 	barrierWaitNs atomic.Int64  // aggregate, including unattributed waits
 	joinNs        atomic.Int64  // master time draining the region join
+	retunes       atomic.Uint64 // auto-tuner schedule switches
 }
 
 // New creates a recorder for a team of the given size (>= 1).
@@ -93,6 +96,43 @@ func (r *Recorder) AddWait(id int, d time.Duration) {
 // master's own finish.
 func (r *Recorder) AddJoin(d time.Duration) { r.joinNs.Add(int64(d)) }
 
+// IncChunk counts one loop chunk claimed by worker id under a
+// non-static schedule. Out-of-range ids are dropped, as with AddBusy.
+func (r *Recorder) IncChunk(id int) {
+	if id >= 0 && id < len(r.workers) {
+		r.workers[id].chunks.Add(1)
+	}
+}
+
+// IncSteal counts one chunk worker id took from another worker's deque
+// under the stealing schedule.
+func (r *Recorder) IncSteal(id int) {
+	if id >= 0 && id < len(r.workers) {
+		r.workers[id].steals.Add(1)
+	}
+}
+
+// IncRetune counts one schedule switch by the team's auto-tuner.
+func (r *Recorder) IncRetune() { r.retunes.Add(1) }
+
+// BusyNs returns worker id's accumulated region-body time in
+// nanoseconds, without allocating — the auto-tuner's feedback read.
+func (r *Recorder) BusyNs(id int) int64 {
+	if id < 0 || id >= len(r.workers) {
+		return 0
+	}
+	return r.workers[id].busyNs.Load()
+}
+
+// WaitNs returns worker id's accumulated barrier-wait time in
+// nanoseconds, without allocating.
+func (r *Recorder) WaitNs(id int) int64 {
+	if id < 0 || id >= len(r.workers) {
+		return 0
+	}
+	return r.workers[id].waitNs.Load()
+}
+
 // Stats is a point-in-time snapshot of a Recorder, safe to serialize
 // (expvar/JSON) and to read without synchronization.
 type Stats struct {
@@ -103,8 +143,11 @@ type Stats struct {
 	BarrierWaits  uint64        // await calls that blocked
 	BarrierWait   time.Duration // aggregate wait, attributed or not
 	JoinWait      time.Duration // master wait at region joins
+	Retunes       uint64        // auto-tuner schedule switches
 	Busy          []time.Duration
 	Wait          []time.Duration
+	Chunks        []uint64 // per-worker scheduled-chunk claims
+	Steals        []uint64 // per-worker deque steals
 }
 
 // Snapshot captures the recorder's current counters.
@@ -117,12 +160,17 @@ func (r *Recorder) Snapshot() *Stats {
 		BarrierWaits:  r.barrierWaits.Load(),
 		BarrierWait:   time.Duration(r.barrierWaitNs.Load()),
 		JoinWait:      time.Duration(r.joinNs.Load()),
+		Retunes:       r.retunes.Load(),
 		Busy:          make([]time.Duration, len(r.workers)),
 		Wait:          make([]time.Duration, len(r.workers)),
+		Chunks:        make([]uint64, len(r.workers)),
+		Steals:        make([]uint64, len(r.workers)),
 	}
 	for i := range r.workers {
 		s.Busy[i] = time.Duration(r.workers[i].busyNs.Load())
 		s.Wait[i] = time.Duration(r.workers[i].waitNs.Load())
+		s.Chunks[i] = r.workers[i].chunks.Load()
+		s.Steals[i] = r.workers[i].steals.Load()
 	}
 	return s
 }
@@ -177,8 +225,14 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "regions=%d cancels=%d panics=%d imbalance=%.2f barrier=%.3fs join=%.3fs",
 		s.Regions, s.Cancellations, s.Panics, s.Imbalance(),
 		s.BarrierWait.Seconds(), s.JoinWait.Seconds())
+	if s.Retunes > 0 {
+		fmt.Fprintf(&b, " retunes=%d", s.Retunes)
+	}
 	for i := range s.Busy {
 		fmt.Fprintf(&b, "\n  w%-2d busy=%.3fs wait=%.3fs", i, s.Busy[i].Seconds(), s.Wait[i].Seconds())
+		if i < len(s.Chunks) && (s.Chunks[i] > 0 || s.Steals[i] > 0) {
+			fmt.Fprintf(&b, " chunks=%d steals=%d", s.Chunks[i], s.Steals[i])
+		}
 	}
 	return b.String()
 }

@@ -31,6 +31,10 @@ type CellMetrics struct {
 	Verified  bool    `json:"verified"`
 	Attempts  int     `json:"attempts,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// Schedule is the team loop schedule the cell ran under; empty means
+	// static (also the value on records written before schedules
+	// existed, which is accurate — they all ran static).
+	Schedule string `json:"schedule,omitempty"`
 
 	// Samples holds every repeat's elapsed time in seconds, in run
 	// order. Elapsed stays the best (minimum) repeat for back-compat;

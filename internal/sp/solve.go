@@ -180,71 +180,91 @@ func (b *Benchmark) solveDirectionLine(ls *lineScratch, n int, p *dirParams,
 	solveFactor(ls.lhsm, n, compsM, rhs, rbase, rstride)
 }
 
-// xSolve runs the xi-direction factor sweep followed by ninvr.
-func (b *Benchmark) xSolve(tm *team.Team) {
+// buildBodies constructs every parallel-region body once. Each is a
+// func(id int) handed straight to Team.Run; chunk bounds come from the
+// team's loop iterator (honoring the configured schedule), per-worker
+// scratch from the pools and the team from the tm staging field, so the
+// ADI loop creates no closures.
+func (b *Benchmark) buildBodies() {
 	n := b.n
 	f := b.f
-	p := dirParams{dtt1: b.dttx1, dtt2: b.dttx2, c2dtt1: b.c2dttx1,
+	b.pX = dirParams{dtt1: b.dttx1, dtt2: b.dttx2, c2dtt1: b.c2dttx1,
 		dmax: b.dxmax, d2or3or4: b.c.Dx2, d5: b.c.Dx5, d1: b.c.Dx1}
-	tm.Run(func(id int) {
-		klo, khi := team.Block(1, n-1, tm.Size(), id)
+	b.pY = dirParams{dtt1: b.dtty1, dtt2: b.dtty2, c2dtt1: b.c2dtty1,
+		dmax: b.dymax, d2or3or4: b.c.Dy3, d5: b.c.Dy5, d1: b.c.Dy1}
+	b.pZ = dirParams{dtt1: b.dttz1, dtt2: b.dttz2, c2dtt1: b.c2dttz1,
+		dmax: b.dzmax, d2or3or4: b.c.Dz4, d5: b.c.Dz5, d1: b.c.Dz1}
+	b.buildTransformBodies()
+
+	//npblint:hot xi-direction factor sweep, k planes chunked
+	b.xBody = func(id int) {
 		ls := b.scratch[id]
-		for k := klo; k < khi; k++ {
-			for j := 1; j < n-1; j++ {
-				for i := 0; i < n; i++ {
-					b.fillEigenRows(ls, i, f.SAt(i, j, k), &p, f.Us)
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			for k := it.Lo; k < it.Hi; k++ {
+				for j := 1; j < n-1; j++ {
+					for i := 0; i < n; i++ {
+						b.fillEigenRows(ls, i, f.SAt(i, j, k), &b.pX, f.Us)
+					}
+					b.solveDirectionLine(ls, n, &b.pX,
+						f.Speed, f.SAt(0, j, k), 1,
+						f.Rhs, f.FAt(0, 0, j, k), 5)
 				}
-				b.solveDirectionLine(ls, n, &p,
-					f.Speed, f.SAt(0, j, k), 1,
-					f.Rhs, f.FAt(0, 0, j, k), 5)
 			}
 		}
-	})
+	}
+
+	//npblint:hot eta-direction factor sweep, k planes chunked
+	b.yBody = func(id int) {
+		ls := b.scratch[id]
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			for k := it.Lo; k < it.Hi; k++ {
+				for i := 1; i < n-1; i++ {
+					for j := 0; j < n; j++ {
+						b.fillEigenRows(ls, j, f.SAt(i, j, k), &b.pY, f.Vs)
+					}
+					b.solveDirectionLine(ls, n, &b.pY,
+						f.Speed, f.SAt(i, 0, k), n,
+						f.Rhs, f.FAt(0, i, 0, k), 5*n)
+				}
+			}
+		}
+	}
+
+	//npblint:hot zeta-direction factor sweep, j rows chunked
+	b.zBody = func(id int) {
+		ls := b.scratch[id]
+		for it := b.tm.Loop(id, 1, n-1); it.Next(); {
+			for j := it.Lo; j < it.Hi; j++ {
+				for i := 1; i < n-1; i++ {
+					for k := 0; k < n; k++ {
+						b.fillEigenRows(ls, k, f.SAt(i, j, k), &b.pZ, f.Ws)
+					}
+					b.solveDirectionLine(ls, n, &b.pZ,
+						f.Speed, f.SAt(i, j, 0), n*n,
+						f.Rhs, f.FAt(0, i, j, 0), 5*n*n)
+				}
+			}
+		}
+	}
+}
+
+// xSolve runs the xi-direction factor sweep followed by ninvr.
+func (b *Benchmark) xSolve(tm *team.Team) {
+	b.tm = tm
+	tm.Run(b.xBody)
 	b.ninvr(tm)
 }
 
 // ySolve runs the eta-direction factor sweep followed by pinvr.
 func (b *Benchmark) ySolve(tm *team.Team) {
-	n := b.n
-	f := b.f
-	p := dirParams{dtt1: b.dtty1, dtt2: b.dtty2, c2dtt1: b.c2dtty1,
-		dmax: b.dymax, d2or3or4: b.c.Dy3, d5: b.c.Dy5, d1: b.c.Dy1}
-	tm.Run(func(id int) {
-		klo, khi := team.Block(1, n-1, tm.Size(), id)
-		ls := b.scratch[id]
-		for k := klo; k < khi; k++ {
-			for i := 1; i < n-1; i++ {
-				for j := 0; j < n; j++ {
-					b.fillEigenRows(ls, j, f.SAt(i, j, k), &p, f.Vs)
-				}
-				b.solveDirectionLine(ls, n, &p,
-					f.Speed, f.SAt(i, 0, k), n,
-					f.Rhs, f.FAt(0, i, 0, k), 5*n)
-			}
-		}
-	})
+	b.tm = tm
+	tm.Run(b.yBody)
 	b.pinvr(tm)
 }
 
 // zSolve runs the zeta-direction factor sweep followed by tzetar.
 func (b *Benchmark) zSolve(tm *team.Team) {
-	n := b.n
-	f := b.f
-	p := dirParams{dtt1: b.dttz1, dtt2: b.dttz2, c2dtt1: b.c2dttz1,
-		dmax: b.dzmax, d2or3or4: b.c.Dz4, d5: b.c.Dz5, d1: b.c.Dz1}
-	tm.Run(func(id int) {
-		jlo, jhi := team.Block(1, n-1, tm.Size(), id)
-		ls := b.scratch[id]
-		for j := jlo; j < jhi; j++ {
-			for i := 1; i < n-1; i++ {
-				for k := 0; k < n; k++ {
-					b.fillEigenRows(ls, k, f.SAt(i, j, k), &p, f.Ws)
-				}
-				b.solveDirectionLine(ls, n, &p,
-					f.Speed, f.SAt(i, j, 0), n*n,
-					f.Rhs, f.FAt(0, i, j, 0), 5*n*n)
-			}
-		}
-	})
+	b.tm = tm
+	tm.Run(b.zBody)
 	b.tzetar(tm)
 }

@@ -10,7 +10,9 @@
 // function to the pool and joins in as worker 0, and a sense-counting
 // barrier provides in-region synchronization. Loop-level work sharing
 // uses the same static block distribution as the OpenMP schedule(static)
-// the paper's prototype used.
+// the paper's prototype used by default; WithSchedule switches a team to
+// dynamic, guided, work-stealing or auto-tuned distribution (see
+// schedule.go), the knob §5.2's load-imbalance diagnosis calls for.
 //
 // The runtime is fault-isolating: a panic on any worker is captured with
 // its stack, the barrier is poisoned so sibling workers parked on it
@@ -87,6 +89,21 @@ type Team struct {
 
 	inRegion atomic.Bool // guards against nested parallel regions
 
+	// Loop scheduling state (schedule.go). All of it is allocated once
+	// in New and reused by every loop, so scheduled loops stay
+	// allocation-free. sched and grain are the configured policy; cur
+	// is the schedule resolved for the current region (the tuner's pick
+	// under Auto), written by the master in resetRegion before dispatch
+	// and read by workers — the channel send orders the accesses.
+	sched     Schedule
+	grain     int
+	cur       Schedule
+	regionTag uint32     // per-region ordinal feeding loop-instance tags
+	loopK     []padCount // per-worker loop ordinal within the region
+	loops     []padU64   // shared cursor ring, one word per loop slot
+	deques    [][]padU64 // per-slot stealing deques, one word per worker
+	tun       tuner
+
 	halt   atomic.Bool // sticky cancellation flag, read by Cancelled
 	failMu sync.Mutex  // guards regionFail and cancelErr
 	// regionFail is the first real panic of the current region; cleared
@@ -143,6 +160,23 @@ func New(n int, opts ...Option) *Team {
 	}
 	for _, o := range opts {
 		o(t)
+	}
+	if n > 1 {
+		t.loopK = make([]padCount, n)
+		t.loops = make([]padU64, loopSlots)
+		t.deques = make([][]padU64, loopSlots)
+		for i := range t.deques {
+			t.deques[i] = make([]padU64, n)
+		}
+		if t.sched == Auto {
+			// The tuner needs the busy/wait feedback; give an
+			// unobserved team a private recorder.
+			if t.rec == nil {
+				t.rec = obs.New(n)
+			}
+			t.tun.lastBusy = make([]int64, n)
+			t.tun.lastWait = make([]int64, n)
+		}
 	}
 	t.barrier.init(n, &t.halt, t.rec, t.tr)
 	for id := 1; id < n; id++ {
@@ -369,6 +403,18 @@ func (t *Team) resetRegion() {
 	t.regionFail = nil
 	t.failMu.Unlock()
 	t.barrier.reset()
+	// Re-arm the loop machinery and publish the region's schedule. The
+	// previous region has fully joined, so no worker still reads these.
+	t.regionTag++
+	for i := range t.loopK {
+		t.loopK[i].v = 0
+	}
+	s := t.sched
+	if s == Auto {
+		t.maybeTune()
+		s = t.tun.cur
+	}
+	t.cur = s
 }
 
 func (t *Team) takeFailure() error {
@@ -424,6 +470,9 @@ func Block(lo, hi, parts, id int) (blo, bhi int) {
 	if parts < 1 {
 		panic(fmt.Sprintf("team: Block called with parts %d < 1 (range [%d,%d))", parts, lo, hi))
 	}
+	if id < 0 || id >= parts {
+		panic(fmt.Sprintf("team: Block called with id %d out of range [0,%d) (range [%d,%d))", id, parts, lo, hi))
+	}
 	n := hi - lo
 	if n < 0 {
 		n = 0
@@ -465,10 +514,11 @@ func (t *Team) inline(fn func()) {
 	t.rec.AddBusy(0, time.Since(start))
 }
 
-// For runs body(i) for every i in [lo, hi) with iterations statically
-// blocked over the team, as a complete parallel region (fork + join).
-// On a cancelled team For is a no-op, like Run; callers observe the
-// cancellation through Cancelled().
+// For runs body(i) for every i in [lo, hi) with iterations distributed
+// over the team by its schedule (one static block per worker by
+// default), as a complete parallel region (fork + join). On a cancelled
+// team For is a no-op, like Run; callers observe the cancellation
+// through Cancelled().
 func (t *Team) For(lo, hi int, body func(i int)) {
 	if t.n == 1 {
 		if t.halt.Load() {
@@ -482,18 +532,20 @@ func (t *Team) For(lo, hi int, body func(i int)) {
 		return
 	}
 	t.Run(func(id int) {
-		blo, bhi := Block(lo, hi, t.n, id)
-		for i := blo; i < bhi; i++ {
-			body(i)
+		for it := t.Loop(id, lo, hi); it.Next(); {
+			for i := it.Lo; i < it.Hi; i++ {
+				body(i)
+			}
 		}
 	})
 }
 
-// ForBlock runs body(blo, bhi) once per worker with that worker's static
-// share of [lo, hi), as a complete parallel region. Benchmarks use this
-// form so the worker can keep its own inner loop nests, exactly like the
-// translated Java run() bodies. On a cancelled team ForBlock is a
-// no-op, like Run.
+// ForBlock runs body(blo, bhi) once per scheduled chunk of [lo, hi) —
+// under the default static schedule, exactly once per worker with that
+// worker's Block share — as a complete parallel region. Benchmarks use
+// this form so the worker can keep its own inner loop nests, exactly
+// like the translated Java run() bodies. On a cancelled team ForBlock
+// is a no-op, like Run.
 func (t *Team) ForBlock(lo, hi int, body func(blo, bhi int)) {
 	if t.n == 1 {
 		if t.halt.Load() {
@@ -503,18 +555,21 @@ func (t *Team) ForBlock(lo, hi int, body func(blo, bhi int)) {
 		return
 	}
 	t.Run(func(id int) {
-		blo, bhi := Block(lo, hi, t.n, id)
-		body(blo, bhi)
+		for it := t.Loop(id, lo, hi); it.Next(); {
+			body(it.Lo, it.Hi)
+		}
 	})
 }
 
-// ReduceSum runs body over static blocks of [lo, hi), each worker
-// returning its partial sum, and returns the total. Partials are
-// accumulated in deterministic worker order so that a run with a given
-// team size is bit-reproducible. On a cancelled team the region is
-// skipped and ReduceSum returns 0 — never a sum of stale partials from
-// an earlier region — so callers must check Cancelled() before using
-// the result.
+// ReduceSum runs body over the Size() static blocks of [lo, hi), each
+// chunk returning its partial sum, and returns the total. The chunk
+// decomposition is the static one under every schedule — only the
+// worker that runs each block varies — and each block's partial lands
+// in the slot of its block index, summed in block order, so the result
+// is bit-reproducible for a given team size no matter the schedule. On
+// a cancelled team the region is skipped and ReduceSum returns 0 —
+// never a sum of stale partials from an earlier region — so callers
+// must check Cancelled() before using the result.
 func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
 	if t.halt.Load() {
 		return 0
@@ -522,14 +577,20 @@ func (t *Team) ReduceSum(lo, hi int, body func(blo, bhi int) float64) float64 {
 	if t.n == 1 {
 		var sum float64
 		t.inline(func() { sum = body(lo, hi) })
+		if t.halt.Load() {
+			// The body cancelled the team mid-flight: return 0 like the
+			// dispatched path, never a partial of an aborted region.
+			return 0
+		}
 		if t.tr != nil {
 			t.tr.Reduce(t.regionSeq.Load())
 		}
 		return sum
 	}
 	t.Run(func(id int) {
-		blo, bhi := Block(lo, hi, t.n, id)
-		t.partial[id].v = body(blo, bhi)
+		for it := t.ReduceBlocks(id, lo, hi); it.Next(); {
+			t.partial[it.Chunk()].v = body(it.Lo, it.Hi)
+		}
 	})
 	if t.halt.Load() {
 		// The region was skipped or unwound mid-flight: some slots may

@@ -58,6 +58,14 @@ func argsFor(e Event) map[string]any {
 		return map[string]any{"gen": e.ID}
 	case KindPipeWaitBegin, KindPipeSignal:
 		return map[string]any{"token": e.ID}
+	case KindChunk:
+		return map[string]any{"chunk": e.ID}
+	case KindSteal:
+		return map[string]any{"victim": e.ID}
+	case KindRetune:
+		if e.Name != "" {
+			return map[string]any{"schedule": e.Name}
+		}
 	case KindCancel:
 		if e.Name != "" {
 			return map[string]any{"reason": e.Name}

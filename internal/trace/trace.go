@@ -54,6 +54,9 @@ const (
 	KindPanic                          // worker instant: panic captured
 	KindPhaseBegin                     // master: named benchmark phase started
 	KindPhaseEnd                       // master: named benchmark phase finished
+	KindChunk                          // worker instant: scheduled loop chunk claimed
+	KindSteal                          // worker instant: chunk stolen from another worker's deque
+	KindRetune                         // master instant: auto-tuner switched schedule
 )
 
 // String returns the short event-kind label used by the exporters.
@@ -77,6 +80,12 @@ func (k Kind) String() string {
 		return "panic"
 	case KindPhaseBegin, KindPhaseEnd:
 		return "phase"
+	case KindChunk:
+		return "chunk"
+	case KindSteal:
+		return "steal"
+	case KindRetune:
+		return "retune"
 	}
 	return "?"
 }
@@ -224,6 +233,25 @@ func (t *Tracer) PipeWaitEnd(id int, tok uint64) {
 // PipeSignal marks worker id posting pipeline token tok (instant).
 func (t *Tracer) PipeSignal(id int, tok uint64) {
 	t.ring(id).emit(Event{TS: t.now(), ID: tok, Kind: KindPipeSignal})
+}
+
+// Chunk marks worker id claiming chunk ordinal c of a dynamically
+// scheduled loop — the Perfetto-visible pulse of the chunk traffic the
+// obs chunk counters total up.
+func (t *Tracer) Chunk(id int, c uint64) {
+	t.ring(id).emit(Event{TS: t.now(), ID: c, Kind: KindChunk})
+}
+
+// Steal marks worker id taking a chunk from worker victim's deque under
+// the stealing schedule.
+func (t *Tracer) Steal(id int, victim uint64) {
+	t.ring(id).emit(Event{TS: t.now(), ID: victim, Kind: KindSteal})
+}
+
+// Retune marks the auto-tuner switching the team's loop schedule; name
+// is the new schedule's name.
+func (t *Tracer) Retune(name string) {
+	t.master().emit(Event{TS: t.now(), Kind: KindRetune, Name: name})
 }
 
 // Reduce marks the master combining the partials of region seq.

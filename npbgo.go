@@ -90,6 +90,13 @@ type Config struct {
 	// region, so `go tool trace` shows NPB phases beside the scheduler
 	// view.
 	Trace bool
+	// Schedule selects the team's loop schedule: "static" (default),
+	// "dynamic", "guided", "stealing" or "auto". Static is the paper's
+	// block distribution; the others redistribute loop chunks at runtime
+	// to fix load imbalance (the paper's §5.2 CG anomaly) without
+	// changing any numerical result, and "auto" picks per-region from
+	// runtime feedback. Empty means static.
+	Schedule string
 }
 
 // Result reports one benchmark run.
@@ -207,6 +214,10 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if !validBenchmark(cfg.Benchmark) {
 		return fail(ErrConfig, fmt.Errorf("unknown benchmark %q", cfg.Benchmark))
 	}
+	sched, err := team.ParseSchedule(cfg.Schedule)
+	if err != nil {
+		return fail(ErrConfig, err)
+	}
 	if err := ctx.Err(); err != nil {
 		return fail(ErrCancelled, err)
 	}
@@ -222,7 +233,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		ctx, endTask = trace.StartTask(ctx, fmt.Sprintf("%s.%c.t%d", cfg.Benchmark, cfg.Class, cfg.Threads))
 		defer endTask()
 	}
-	err, panicked := runBenchmark(ctx, cfg, rec, tr, &res)
+	err, panicked := runBenchmark(ctx, cfg, sched, rec, tr, &res)
 	if rec != nil {
 		res.Obs = rec.Snapshot()
 	}
@@ -261,7 +272,7 @@ func setProfile(res *Result, ts *timer.Set) {
 // by a crashed worker region, or a master-side panic — is recovered and
 // returned with panicked = true. rec and tr, when non-nil, are attached
 // to the run's team for per-worker metrics and event timelines.
-func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.Tracer, res *Result) (err error, panicked bool) {
+func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs.Recorder, tr *trace.Tracer, res *Result) (err error, panicked bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			panicked = true
@@ -275,7 +286,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 	profile := cfg.Profile || cfg.Obs
 	switch cfg.Benchmark {
 	case BT:
-		opts := []bt.Option{bt.WithObs(rec), bt.WithTrace(tr)}
+		opts := []bt.Option{bt.WithObs(rec), bt.WithTrace(tr), bt.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, bt.WithTimers())
 		}
@@ -288,7 +299,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case SP:
-		opts := []sp.Option{sp.WithObs(rec), sp.WithTrace(tr)}
+		opts := []sp.Option{sp.WithObs(rec), sp.WithTrace(tr), sp.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, sp.WithTimers())
 		}
@@ -301,7 +312,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case LU:
-		opts := []lu.Option{lu.WithObs(rec), lu.WithTrace(tr)}
+		opts := []lu.Option{lu.WithObs(rec), lu.WithTrace(tr), lu.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, lu.WithTimers())
 		}
@@ -314,7 +325,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case FT:
-		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec), ft.WithTrace(tr))
+		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec), ft.WithTrace(tr), ft.WithSchedule(sched))
 		if err != nil {
 			return err, false
 		}
@@ -322,7 +333,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case MG:
-		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec), mg.WithTrace(tr))
+		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec), mg.WithTrace(tr), mg.WithSchedule(sched))
 		if err != nil {
 			return err, false
 		}
@@ -330,7 +341,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case CG:
-		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec), cg.WithTrace(tr)}
+		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec), cg.WithTrace(tr), cg.WithSchedule(sched)}
 		if cfg.Warmup {
 			opts = append(opts, cg.WithWarmup())
 		}
@@ -346,7 +357,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case IS:
-		opts := []is.Option{is.WithObs(rec), is.WithTrace(tr)}
+		opts := []is.Option{is.WithObs(rec), is.WithTrace(tr), is.WithSchedule(sched)}
 		if cfg.Buckets {
 			opts = append(opts, is.WithBuckets())
 		}
@@ -358,7 +369,7 @@ func runBenchmark(ctx context.Context, cfg Config, rec *obs.Recorder, tr *trace.
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case EP:
-		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec), ep.WithTrace(tr)}
+		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec), ep.WithTrace(tr), ep.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, ep.WithTimers())
 		}

@@ -76,6 +76,49 @@ func TestWarmupOption(t *testing.T) {
 	}
 }
 
+// TestScheduleOptionEquivalence: every loop schedule must produce the
+// exact same verification printout as the static default — the computed
+// values are printed at full float64 precision, so an identical Detail
+// string is a bit-identity check on the benchmark's numerical results.
+// CG exercises the block-indexed reduction path, MG the per-block norm
+// maxima.
+func TestScheduleOptionEquivalence(t *testing.T) {
+	for _, b := range []npbgo.Benchmark{npbgo.CG, npbgo.MG} {
+		base, err := npbgo.Run(npbgo.Config{Benchmark: b, Class: 'S', Threads: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Verified {
+			t.Fatalf("static %s.S unverified:\n%s", b, base.Detail)
+		}
+		for _, sched := range []string{"dynamic", "guided", "stealing", "auto"} {
+			res, err := npbgo.Run(npbgo.Config{Benchmark: b, Class: 'S', Threads: 3, Schedule: sched})
+			if err != nil {
+				t.Fatalf("%s schedule %s: %v", b, sched, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s under %s unverified:\n%s", b, sched, res.Detail)
+			}
+			if res.Detail != base.Detail {
+				t.Fatalf("%s under %s diverged from static:\n%s\nvs static:\n%s",
+					b, sched, res.Detail, base.Detail)
+			}
+		}
+	}
+}
+
+// TestBadScheduleRejected: an unknown schedule name must fail up front
+// as a config error, before any benchmark state is built.
+func TestBadScheduleRejected(t *testing.T) {
+	_, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Schedule: "round-robin"})
+	if err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	if !strings.Contains(err.Error(), "schedule") {
+		t.Fatalf("error %q does not mention the schedule", err)
+	}
+}
+
 func TestPoissonSolverReducesResidual(t *testing.T) {
 	s, err := npbgo.NewPoissonSolver(32, 2)
 	if err != nil {
