@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak schedule-check tables clean
+.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak schedule-check counters-check tables clean
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,7 @@ escape-baseline:
 # a dedicated -race pass even under -short.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/team ./internal/harness ./internal/fault ./internal/timer ./internal/obs ./internal/journal ./internal/chaos
+	$(GO) test -race ./internal/team ./internal/harness ./internal/fault ./internal/timer ./internal/obs ./internal/journal ./internal/chaos ./internal/perfcount
 
 test-race: race
 
@@ -122,6 +122,16 @@ schedule-check:
 	$(GO) run ./cmd/npbsuite -class W -bench CG -threads 1,2,4 -schedule auto -repeats 2 -obs -obs-listen "" -obs-jsonl "" -bench-json sched-auto.json
 	$(GO) run ./cmd/npbperf scaling -fail-on load-imbalance sched-auto.json
 
+# Counter-attribution smoke: IS+CG class S with -counters on, then
+# npbperf counters -require asserts every cell either carries populated
+# counter fields or an explicit "unavailable (<reason>)" note — never
+# silent zeros. Passes both on PMU-backed hosts (real figures) and in
+# PMU-less containers/CI (the journaled degradation path). The CI
+# counters-smoke job runs exactly this and keeps the record artifact.
+counters-check:
+	$(GO) run ./cmd/npbsuite -class S -bench IS,CG -threads 2 -counters -obs -obs-listen "" -obs-jsonl counters-cells.jsonl -bench-json counters-smoke.json
+	$(GO) run ./cmd/npbperf counters -require counters-smoke.json
+
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)
 	$(GO) run ./cmd/jgflu -classes A,B,C
@@ -130,4 +140,4 @@ tables:
 clean:
 	$(GO) clean ./...
 	rm -rf bin
-	rm -f perf-base.json perf-head.json soak-journal.jsonl sched-auto.json
+	rm -f perf-base.json perf-head.json soak-journal.jsonl sched-auto.json counters-smoke.json counters-cells.jsonl

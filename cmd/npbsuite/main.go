@@ -28,6 +28,16 @@
 // npb.obs) and /debug/pprof on a local port for the duration of the
 // sweep.
 //
+// -counters turns on hardware-counter attribution: every cell samples
+// cycles, instructions, LLC loads/misses and branch misses per worker
+// per parallel region via perf_event_open, the totals land in the
+// cell's metrics/bench records, and a counter summary table (IPC, LLC
+// miss rate) is printed after the sweeps. Where counters are
+// unavailable — restrictive perf_event_paranoid, no PMU in the
+// VM/container, non-Linux build — the sweep runs normally and each
+// record carries an explicit "counters: unavailable (<reason>)" note
+// instead of silent zeros.
+//
 // -trace <dir> turns on the execution tracer: every cell records
 // per-worker event timelines (region blocks, barrier arrive/release,
 // LU pipeline waits) and writes one Chrome/Perfetto trace file per
@@ -87,6 +97,7 @@ import (
 	"npbgo/internal/harness"
 	"npbgo/internal/journal"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/report"
 	"npbgo/internal/team"
 )
@@ -101,6 +112,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run deadline, e.g. 5m (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retries per failed run, with exponential backoff")
 	obsFlag := flag.Bool("obs", false, "collect runtime metrics per cell and print the metrics summary")
+	countersFlag := flag.Bool("counters", false, "sample hardware counters (cycles/IPC/LLC misses) per cell and print the counter summary")
 	obsListen := flag.String("obs-listen", "127.0.0.1:6060", "with -obs: address for the expvar/pprof endpoint (empty = no endpoint)")
 	obsJSONL := flag.String("obs-jsonl", "npb-metrics.jsonl", "with -obs: per-cell metrics JSONL file, appended (empty = no file)")
 	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace file per cell into this directory (enables execution tracing)")
@@ -197,6 +209,7 @@ func main() {
 		Retries:  *retries,
 		Backoff:  500 * time.Millisecond,
 		Obs:      *obsFlag,
+		Counters: *countersFlag,
 		TraceDir: *traceDir,
 		Context:  ctx,
 	}
@@ -281,6 +294,13 @@ func main() {
 	if *traceDir != "" {
 		fmt.Printf("trace: per-cell Perfetto timelines written to %s/ (open at ui.perfetto.dev)\n\n", *traceDir)
 	}
+	if *countersFlag {
+		if err := perfcount.Probe(); err != nil {
+			fmt.Printf("counters: unavailable (%v) — cells run unsampled, records carry the note\n\n", err)
+		} else {
+			fmt.Printf("counters: per-region hardware counters enabled (perf_event_open)\n\n")
+		}
+	}
 	if *obsFlag {
 		if *obsListen != "" {
 			bound, shutdown, err := obs.Serve(*obsListen)
@@ -327,6 +347,10 @@ func main() {
 	if *obsFlag {
 		fmt.Println()
 		fmt.Print(harness.ObsTable("Runtime metrics (imbalance = max busy / mean busy; cf. §5.2)", sweeps))
+	}
+	if *countersFlag {
+		fmt.Println()
+		fmt.Print(harness.CountersTable("Hardware counters (IPC = instructions/cycle; miss rate = LLC misses/loads)", sweeps))
 	}
 	if *benchJSON != "" {
 		path, err := writeBenchRecord(*benchJSON, cl, sweeps)

@@ -28,6 +28,7 @@ import (
 	"npbgo/internal/is"
 	"npbgo/internal/lu"
 	"npbgo/internal/mg"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/sp"
 	"npbgo/internal/team"
 )
@@ -62,6 +63,34 @@ func Measure(k Key, warm, runs int) (float64, error) {
 		iter(tm)
 	}
 	return testing.AllocsPerRun(runs, func() { iter(tm) }), nil
+}
+
+// MeasureCounters measures the steady-state allocations of one sampled
+// parallel region: a team with a software perf-event sampler attached
+// (the same group-read path the hardware sets use) runs warm regions,
+// then allocations per region are averaged over runs measurements. The
+// budget is zero — RegionStart/RegionEnd must read into the groups'
+// hoisted buffers, never the heap — so turning -counters on cannot
+// perturb the allocation discipline it is meant to diagnose. Where perf
+// events are unavailable the *perfcount.UnavailableError is returned
+// for the caller to skip on.
+func MeasureCounters(warm, runs int) (float64, error) {
+	pc, err := perfcount.NewSoftware(Threads)
+	if err != nil {
+		return 0, err
+	}
+	tm := team.New(Threads, team.WithCounters(pc))
+	defer func() {
+		tm.Close()
+		pc.Close()
+	}()
+	region := func() {
+		tm.Run(func(id int) {})
+	}
+	for i := 0; i < warm; i++ {
+		region()
+	}
+	return testing.AllocsPerRun(runs, region), nil
 }
 
 // newIter constructs the benchmark behind k and returns its Iter hook.

@@ -1,9 +1,12 @@
 package allocgate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
+
+	"npbgo/internal/perfcount"
 )
 
 // TestGate measures every budgeted configuration and asserts the
@@ -52,6 +55,29 @@ func TestGate(t *testing.T) {
 				t.Errorf("%s: %.1f allocs per Iter, budget %d (budgets.go)", k, got, budget)
 			}
 		})
+	}
+}
+
+// TestGateCounters asserts the counter sampling hot path is
+// allocation-free: a region on a sampled team must cost exactly as
+// many allocations as on an unsampled one — zero.
+func TestGateCounters(t *testing.T) {
+	got, err := MeasureCounters(5, 20)
+	if err != nil {
+		var ue *perfcount.UnavailableError
+		if errors.As(err, &ue) {
+			t.Skipf("software counters unavailable here: %v", err)
+		}
+		t.Fatal(err)
+	}
+	if got > 0 {
+		// Confirm before failing: absorb one-off process noise.
+		if got, err = MeasureCounters(5, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got > 0 {
+		t.Errorf("sampled region: %.1f allocs per region, budget 0", got)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"npbgo/internal/fault"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/trace"
@@ -53,11 +54,12 @@ type Benchmark struct {
 	p       params
 	threads int
 	warmup  bool
-	ctx     context.Context // nil means not cancellable
-	rec     *obs.Recorder   // nil without WithObs
-	tr      *trace.Tracer   // nil without WithTrace
-	timers  *timer.Set      // nil without WithTimers
-	sched   team.Schedule   // loop schedule, Static without WithSchedule
+	ctx     context.Context    // nil means not cancellable
+	rec     *obs.Recorder      // nil without WithObs
+	tr      *trace.Tracer      // nil without WithTrace
+	pc      *perfcount.Sampler // nil without WithCounters
+	timers  *timer.Set         // nil without WithTimers
+	sched   team.Schedule      // loop schedule, Static without WithSchedule
 
 	ballastBytes int
 	ballast      [][]float64 // per-worker ballast, nil without WithBallast
@@ -112,6 +114,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule — the knob §5.2's
 // load-imbalance diagnosis calls for. The default is team.Static, the
@@ -319,7 +327,7 @@ type Result struct {
 // Run executes the benchmark: one untimed feed-through iteration, then
 // niter timed outer iterations, then verification, following cg.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -19,6 +19,7 @@ import (
 
 	"npbgo/internal/fault"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
@@ -56,11 +57,12 @@ type Benchmark struct {
 	nn      int // number of 2^mk batches
 	an      float64
 	threads int
-	ctx     context.Context // nil means not cancellable
-	rec     *obs.Recorder   // nil without WithObs
-	tr      *trace.Tracer   // nil without WithTrace
-	timers  *timer.Set      // nil without WithTimers
-	sched   team.Schedule   // loop schedule, Static without WithSchedule
+	ctx     context.Context    // nil means not cancellable
+	rec     *obs.Recorder      // nil without WithObs
+	tr      *trace.Tracer      // nil without WithTrace
+	pc      *perfcount.Sampler // nil without WithCounters
+	timers  *timer.Set         // nil without WithTimers
+	sched   team.Schedule      // loop schedule, Static without WithSchedule
 
 	states []batchState // per-block tallies, reset each Iter
 	x      [][]float64  // per-worker vranlc scratch, 2*nk doubles each
@@ -87,6 +89,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule for the batch sweep;
 // team.Static (the default) is the paper's block distribution. Batch
@@ -236,7 +244,7 @@ func runBatch(kk int, an float64, st *batchState, x []float64) {
 
 // Run executes the kernel and returns its result.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

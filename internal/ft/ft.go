@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/trace"
@@ -68,10 +69,11 @@ type Benchmark struct {
 	Class   byte
 	p       params
 	threads int
-	ctx     context.Context // nil means not cancellable
-	rec     *obs.Recorder   // nil without WithObs
-	tr      *trace.Tracer   // nil without WithTrace
-	sched   team.Schedule   // loop schedule, Static without WithSchedule
+	ctx     context.Context    // nil means not cancellable
+	rec     *obs.Recorder      // nil without WithObs
+	tr      *trace.Tracer      // nil without WithTrace
+	pc      *perfcount.Sampler // nil without WithCounters
+	sched   team.Schedule      // loop schedule, Static without WithSchedule
 
 	c          cube
 	u0, u1, u2 []complex128
@@ -111,6 +113,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule for the FFT plane
 // sweeps; team.Static (the default) is the paper's block distribution.
@@ -323,7 +331,7 @@ type Result struct {
 // section (initialization, forward FFT, niter evolve/inverse-FFT/
 // checksum steps), then verification, following ft.f.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 	if b.ctx != nil {
 		stop := tm.WatchContext(b.ctx)

@@ -28,6 +28,7 @@ import (
 	"npbgo/internal/fault"
 	"npbgo/internal/journal"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/report"
 	"npbgo/internal/timer"
 	"npbgo/internal/trace"
@@ -51,6 +52,11 @@ type Run struct {
 	Obs     *obs.Stats      // runtime metrics of the kept repeat, nil unless Options.Obs
 	Phases  []timer.Phase   // phase profile of the kept repeat, nil unless the benchmark exposes timers
 	Trace   *trace.Snapshot // event timeline of the kept repeat, nil unless Options.TraceDir
+	// Counters is the hardware-counter attribution of the kept repeat,
+	// nil unless Options.Counters and counters were available;
+	// CountersNote records why it is nil when they were requested.
+	Counters     *perfcount.Stats
+	CountersNote string
 	// Replayed marks a cell restored from a journal on resume instead of
 	// executed; its numbers are the earlier run's.
 	Replayed bool
@@ -111,6 +117,11 @@ type Options struct {
 	// Obs enables runtime-metrics collection (npbgo.Config.Obs) for
 	// every cell; each cell's snapshot lands in Run.Obs.
 	Obs bool
+	// Counters enables per-region hardware-counter sampling
+	// (npbgo.Config.Counters) for every cell; each cell's totals land in
+	// Run.Counters, or Run.CountersNote records why they could not be
+	// collected.
+	Counters bool
 	// Metrics, when non-nil, receives one report.CellMetrics JSON line
 	// per cell as the sweep progresses.
 	Metrics io.Writer
@@ -191,15 +202,11 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 		if opt.MemGuard != nil {
 			skip = opt.MemGuard.check(cellConfig(bench, class, th, opt))
 		}
+		status := journal.StatusOK
 		switch {
 		case skip != nil:
 			r = Run{Threads: th, Err: skip}
-			if opt.Journal != nil {
-				m := cellMetrics(bench, class, r)
-				if err := opt.Journal.Finish(key, journal.StatusSkip, &m); err != nil {
-					return sw, errors.Join(append(errs, err)...)
-				}
-			}
+			status = journal.StatusSkip
 		default:
 			if opt.Journal != nil {
 				if err := opt.Journal.Start(key); err != nil {
@@ -207,15 +214,34 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 				}
 			}
 			r = runCell(ctx, bench, class, th, opt)
-			if opt.Journal != nil {
-				status := journal.StatusOK
-				if r.Err != nil {
-					status = journal.StatusFail
+			if r.Err != nil {
+				status = journal.StatusFail
+			}
+		}
+		sw.Runs = append(sw.Runs, r)
+		if opt.TraceDir != "" && r.Trace != nil {
+			if err := writeTrace(opt.TraceDir, bench, class, r); err != nil {
+				errs = append(errs, fmt.Errorf("%s.%c trace: %w", bench, class, err))
+			}
+		}
+		// The metrics line is written — and, for a failed or killed cell,
+		// flushed to stable storage — before anything that can abort the
+		// sweep or render FAIL(...): the partial record of a dying cell is
+		// the post-mortem, and it must survive even a journal append
+		// failure on the very next statement.
+		if opt.Metrics != nil {
+			if err := report.WriteJSONL(opt.Metrics, cellMetrics(bench, class, r)); err != nil {
+				errs = append(errs, fmt.Errorf("%s.%c metrics: %w", bench, class, err))
+			} else if r.Err != nil {
+				if err := flushWriter(opt.Metrics); err != nil {
+					errs = append(errs, fmt.Errorf("%s.%c metrics flush: %w", bench, class, err))
 				}
-				m := cellMetrics(bench, class, r)
-				if err := opt.Journal.Finish(key, status, &m); err != nil {
-					return sw, errors.Join(append(errs, err)...)
-				}
+			}
+		}
+		if opt.Journal != nil {
+			m := cellMetrics(bench, class, r)
+			if err := opt.Journal.Finish(key, status, &m); err != nil {
+				return sw, errors.Join(append(errs, err)...)
 			}
 		}
 		if r.Err != nil && !IsSkip(r.Err) {
@@ -225,19 +251,24 @@ func RunSweepOpts(bench npbgo.Benchmark, class byte, threads []int, opt Options)
 			}
 			errs = append(errs, fmt.Errorf("%s.%c %s: %w", bench, class, cell, r.Err))
 		}
-		sw.Runs = append(sw.Runs, r)
-		if opt.TraceDir != "" && r.Trace != nil {
-			if err := writeTrace(opt.TraceDir, bench, class, r); err != nil {
-				errs = append(errs, fmt.Errorf("%s.%c trace: %w", bench, class, err))
-			}
-		}
-		if opt.Metrics != nil {
-			if err := report.WriteJSONL(opt.Metrics, cellMetrics(bench, class, r)); err != nil {
-				errs = append(errs, fmt.Errorf("%s.%c metrics: %w", bench, class, err))
-			}
-		}
 	}
 	return sw, errors.Join(errs...)
+}
+
+// flushWriter pushes w's buffered data toward stable storage: a
+// *bufio.Writer-style wrapper is flushed, an *os.File-style writer is
+// fsync'd, and a writer offering neither (an in-memory buffer) needs
+// nothing.
+func flushWriter(w io.Writer) error {
+	if f, ok := w.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	if f, ok := w.(interface{ Sync() error }); ok {
+		return f.Sync()
+	}
+	return nil
 }
 
 // IsSkip reports whether err is (or wraps) a cell skip — an admission
@@ -256,7 +287,7 @@ func cellConfig(bench npbgo.Benchmark, class byte, threads int, opt Options) npb
 	}
 	return npbgo.Config{Benchmark: bench, Class: class, Threads: n,
 		Warmup: opt.Warmup, Obs: opt.Obs, Trace: opt.TraceDir != "",
-		Schedule: opt.Schedule}
+		Schedule: opt.Schedule, Counters: opt.Counters}
 }
 
 // PlannedCells is the journal's cell list for a sweep set: for every
@@ -293,6 +324,8 @@ func RunFromMetrics(m report.CellMetrics) Run {
 	if m.Error != "" {
 		r.Err = errors.New(m.Error)
 	}
+	r.Counters = m.Counters
+	r.CountersNote = m.CountersNote
 	return r
 }
 
@@ -317,12 +350,14 @@ func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int
 			// the samples of the repeats that did complete.
 			return Run{Threads: threads, Attempts: attempts, Samples: samples,
 				Err: err, Obs: res.Obs, Phases: res.Phases, Trace: res.Trace,
+				Counters: res.Counters, CountersNote: res.CountersNote,
 				Schedule: opt.Schedule}
 		}
 		samples = append(samples, res.Elapsed)
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
 			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases,
-			Trace: res.Trace, Schedule: opt.Schedule}
+			Trace: res.Trace, Counters: res.Counters, CountersNote: res.CountersNote,
+			Schedule: opt.Schedule}
 		if best == nil || r.Elapsed < best.Elapsed {
 			cp := r
 			best = &cp
@@ -591,6 +626,8 @@ func cellMetrics(bench npbgo.Benchmark, class byte, r Run) report.CellMetrics {
 	if r.Err != nil {
 		m.Error = r.Err.Error()
 	}
+	m.Counters = r.Counters
+	m.CountersNote = r.CountersNote
 	if s := r.Obs; s != nil {
 		m.Regions = s.Regions
 		m.Cancellations = s.Cancellations
@@ -663,6 +700,40 @@ func ObsTable(title string, sweeps []Sweep) string {
 	}
 	if tb.NumRows() == 0 {
 		tb.AddRow("(no obs data)")
+	}
+	return tb.String()
+}
+
+// CountersTable renders the hardware-counter summary of a sweep set:
+// one row per measured cell with IPC, the LLC miss rate, raw
+// cycle/instruction/miss totals and the multiplexing scale — the
+// evidence table behind every memory-bound diagnosis. Cells whose
+// counters were requested but unavailable render their note instead, so
+// a missing measurement is never mistaken for silent zeros.
+func CountersTable(title string, sweeps []Sweep) string {
+	tb := report.New(title, "Cell", "Set", "IPC", "MissRate", "Cycles", "Instr", "LLCMiss", "BrMiss", "Scale")
+	for _, sw := range sweeps {
+		for _, r := range sw.Runs {
+			cell := fmt.Sprintf("%s.%c %s", sw.Benchmark, sw.Class, cellName(r.Threads))
+			c := r.Counters
+			if c == nil {
+				if r.CountersNote != "" {
+					tb.AddRow(cell, r.CountersNote)
+				}
+				continue
+			}
+			tb.AddRow(cell, c.Set,
+				fmt.Sprintf("%.2f", c.IPC()),
+				fmt.Sprintf("%.4f", c.LLCMissRate()),
+				fmt.Sprintf("%d", c.Cycles),
+				fmt.Sprintf("%d", c.Instructions),
+				fmt.Sprintf("%d", c.LLCMisses),
+				fmt.Sprintf("%d", c.BranchMisses),
+				fmt.Sprintf("%.2f", c.Scale()))
+		}
+	}
+	if tb.NumRows() == 0 {
+		tb.AddRow("(no counter data)")
 	}
 	return tb.String()
 }

@@ -26,6 +26,7 @@ import (
 
 	"npbgo"
 	"npbgo/internal/fault"
+	"npbgo/internal/perfcount"
 )
 
 // Isolation configures subprocess cell execution.
@@ -55,6 +56,7 @@ type CellSpec struct {
 	Threads    int          `json:"threads"`
 	Warmup     bool         `json:"warmup,omitempty"`
 	Obs        bool         `json:"obs,omitempty"`
+	Counters   bool         `json:"counters,omitempty"`
 	FaultSeed  int64        `json:"fault_seed,omitempty"`
 	FaultRules []fault.Rule `json:"fault_rules,omitempty"`
 }
@@ -70,6 +72,10 @@ type CellResult struct {
 	Tier       string  `json:"tier,omitempty"`
 	ErrKind    string  `json:"err_kind,omitempty"`
 	Error      string  `json:"error,omitempty"`
+	// Counter attribution crosses the process boundary with the cell:
+	// the child samples, the parent stamps the metrics record.
+	Counters     *perfcount.Stats `json:"counters,omitempty"`
+	CountersNote string           `json:"counters_note,omitempty"`
 }
 
 // RunCellMain is the child-side entry point behind `npbsuite
@@ -92,13 +98,16 @@ func RunCellMain(specJSON string, out io.Writer) int {
 		Threads:   spec.Threads,
 		Warmup:    spec.Warmup,
 		Obs:       spec.Obs,
+		Counters:  spec.Counters,
 	}
 	res, err := npbgo.Run(cfg)
 	cr := CellResult{
-		ElapsedSec: res.Elapsed.Seconds(),
-		Mops:       res.Mops,
-		Verified:   res.Verified,
-		Tier:       res.Tier,
+		ElapsedSec:   res.Elapsed.Seconds(),
+		Mops:         res.Mops,
+		Verified:     res.Verified,
+		Tier:         res.Tier,
+		Counters:     res.Counters,
+		CountersNote: res.CountersNote,
 	}
 	if err != nil {
 		cr.Error = err.Error()
@@ -133,6 +142,7 @@ func runIsolated(ctx context.Context, cfg npbgo.Config, timeout time.Duration, i
 	spec := CellSpec{
 		Benchmark: string(cfg.Benchmark), Class: string(cfg.Class),
 		Threads: cfg.Threads, Warmup: cfg.Warmup, Obs: cfg.Obs,
+		Counters:  cfg.Counters,
 		FaultSeed: iso.FaultSeed, FaultRules: iso.FaultRules,
 	}
 	payload, err := json.Marshal(spec)
@@ -164,6 +174,8 @@ func runIsolated(ctx context.Context, cfg npbgo.Config, timeout time.Duration, i
 	res.Mops = cr.Mops
 	res.Verified = cr.Verified
 	res.Tier = cr.Tier
+	res.Counters = cr.Counters
+	res.CountersNote = cr.CountersNote
 	if cr.Error != "" {
 		return res, &npbgo.RunError{Benchmark: cfg.Benchmark, Class: cfg.Class,
 			Threads: cfg.Threads, Kind: cr.ErrKind, Cause: errors.New(cr.Error)}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/randdp"
 	"npbgo/internal/team"
 	"npbgo/internal/trace"
@@ -47,10 +48,11 @@ type Benchmark struct {
 	numKeys int
 	maxKey  int
 	threads int
-	buckets bool          // bucketed ranking (the C original's USE_BUCKETS path)
-	rec     *obs.Recorder // nil without WithObs
-	tr      *trace.Tracer // nil without WithTrace
-	sched   team.Schedule // loop schedule, Static without WithSchedule
+	buckets bool               // bucketed ranking (the C original's USE_BUCKETS path)
+	rec     *obs.Recorder      // nil without WithObs
+	tr      *trace.Tracer      // nil without WithTrace
+	pc      *perfcount.Sampler // nil without WithCounters
+	sched   team.Schedule      // loop schedule, Static without WithSchedule
 
 	keys  []int32 // the key array (regenerated at the start of Run)
 	buff2 []int32 // key copy used during ranking
@@ -89,6 +91,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule for the histogram
 // phases; team.Static (the default) keeps the paper's block
@@ -352,7 +360,7 @@ type Result struct {
 // Run executes the benchmark: key generation (untimed), one untimed
 // ranking pass, maxIterations timed passes, then full verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.createSeq()

@@ -15,6 +15,7 @@ import (
 	"npbgo/internal/grid"
 	"npbgo/internal/nscore"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/trace"
@@ -46,9 +47,10 @@ type Benchmark struct {
 	threads int
 	hyper   bool // hyperplane-scheduled sweeps instead of pipelined
 	timers  *timer.Set
-	rec     *obs.Recorder // nil without WithObs
-	tr      *trace.Tracer // nil without WithTrace
-	sched   team.Schedule // loop schedule, Static without WithSchedule
+	rec     *obs.Recorder      // nil without WithObs
+	tr      *trace.Tracer      // nil without WithTrace
+	pc      *perfcount.Sampler // nil without WithCounters
+	sched   team.Schedule      // loop schedule, Static without WithSchedule
 	c       nscore.Consts
 
 	u, rsd, frct []float64 // 5-vector fields, m fastest
@@ -107,6 +109,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule for the explicit
 // phases (operator sweeps, residual init/scale, flow update);
@@ -441,7 +449,7 @@ type Result struct {
 // initialization, forcing computation, then itmax timed SSOR iterations
 // and verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.setbv()

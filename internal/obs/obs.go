@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"npbgo/internal/perfcount"
 )
 
 // slot is one worker's counters, padded to its own cache lines so
@@ -48,6 +50,11 @@ type Recorder struct {
 	barrierWaitNs atomic.Int64  // aggregate, including unattributed waits
 	joinNs        atomic.Int64  // master time draining the region join
 	retunes       atomic.Uint64 // auto-tuner schedule switches
+
+	// pc is the optional hardware-counter sampler folded into snapshots
+	// (AttachCounters); atomic because the registry snapshots recorders
+	// concurrently with a late attach.
+	pc atomic.Pointer[perfcount.Sampler]
 }
 
 // New creates a recorder for a team of the given size (>= 1).
@@ -115,6 +122,13 @@ func (r *Recorder) IncSteal(id int) {
 // IncRetune counts one schedule switch by the team's auto-tuner.
 func (r *Recorder) IncRetune() { r.retunes.Add(1) }
 
+// AttachCounters folds a hardware-counter sampler into this recorder's
+// snapshots: Snapshot carries the sampler's accumulated cycles/IPC/
+// cache-miss figures alongside the timing metrics, and the expvar view
+// derives ipc and llc_miss_rate from them. A nil sampler (counters
+// unavailable or not requested) leaves snapshots exactly as before.
+func (r *Recorder) AttachCounters(pc *perfcount.Sampler) { r.pc.Store(pc) }
+
 // BusyNs returns worker id's accumulated region-body time in
 // nanoseconds, without allocating — the auto-tuner's feedback read.
 func (r *Recorder) BusyNs(id int) int64 {
@@ -148,6 +162,11 @@ type Stats struct {
 	Wait          []time.Duration
 	Chunks        []uint64 // per-worker scheduled-chunk claims
 	Steals        []uint64 // per-worker deque steals
+
+	// Counters is the hardware-counter snapshot when a sampler is
+	// attached (AttachCounters); nil when counters are disabled or
+	// unavailable.
+	Counters *perfcount.Stats
 }
 
 // Snapshot captures the recorder's current counters.
@@ -171,6 +190,9 @@ func (r *Recorder) Snapshot() *Stats {
 		s.Wait[i] = time.Duration(r.workers[i].waitNs.Load())
 		s.Chunks[i] = r.workers[i].chunks.Load()
 		s.Steals[i] = r.workers[i].steals.Load()
+	}
+	if pc := r.pc.Load(); pc != nil {
+		s.Counters = pc.Snapshot()
 	}
 	return s
 }
@@ -233,6 +255,9 @@ func (s *Stats) String() string {
 		if i < len(s.Chunks) && (s.Chunks[i] > 0 || s.Steals[i] > 0) {
 			fmt.Fprintf(&b, " chunks=%d steals=%d", s.Chunks[i], s.Steals[i])
 		}
+	}
+	if s.Counters != nil {
+		fmt.Fprintf(&b, "\n  counters: %s", s.Counters)
 	}
 	return b.String()
 }

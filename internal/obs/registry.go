@@ -51,6 +51,25 @@ type statsView struct {
 	BusySec       []float64 `json:"worker_busy_sec"`
 	WaitSec       []float64 `json:"worker_wait_sec"`
 	Imbalance     float64   `json:"imbalance"`
+
+	// Hardware-counter figures, present only when a sampler is attached
+	// to the recorder: raw totals plus the two derived ratios the
+	// memory-bound diagnosis reads.
+	Counters    *countersView `json:"counters,omitempty"`
+	IPC         float64       `json:"ipc,omitempty"`
+	LLCMissRate float64       `json:"llc_miss_rate,omitempty"`
+}
+
+// countersView is the raw counter totals of a registry entry.
+type countersView struct {
+	Set          string `json:"set"`
+	Cycles       uint64 `json:"cycles,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	LLCLoads     uint64 `json:"llc_loads,omitempty"`
+	LLCMisses    uint64 `json:"llc_misses,omitempty"`
+	BranchMisses uint64 `json:"branch_misses,omitempty"`
+	TaskClockNs  uint64 `json:"task_clock_ns,omitempty"`
+	Note         string `json:"note,omitempty"`
 }
 
 func viewOf(s *Stats) statsView {
@@ -72,6 +91,20 @@ func viewOf(s *Stats) statsView {
 	for i, d := range s.Wait {
 		v.WaitSec[i] = d.Seconds()
 	}
+	if c := s.Counters; c != nil {
+		v.Counters = &countersView{
+			Set:          c.Set,
+			Cycles:       c.Cycles,
+			Instructions: c.Instructions,
+			LLCLoads:     c.LLCLoads,
+			LLCMisses:    c.LLCMisses,
+			BranchMisses: c.BranchMisses,
+			TaskClockNs:  c.TaskClockNs,
+			Note:         c.Note,
+		}
+		v.IPC = c.IPC()
+		v.LLCMissRate = c.LLCMissRate()
+	}
 	return v
 }
 
@@ -85,16 +118,13 @@ func snapshotAll() map[string]statsView {
 	return out
 }
 
-// Serve starts the live observability endpoint on addr ("host:port";
-// port 0 picks a free one) with expvar at /debug/vars and the standard
-// pprof handlers under /debug/pprof/. It returns the bound address and
-// a shutdown function. The handlers live on a private mux, so the
-// process-global http.DefaultServeMux stays clean.
-func Serve(addr string) (bound string, shutdown func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// Handler returns the observability endpoint as a fresh handler —
+// expvar at /debug/vars and the standard pprof handlers under
+// /debug/pprof/ — on a private mux. Each call builds a new mux and
+// mutates no global state (in particular not http.DefaultServeMux), so
+// daemon-style jobs can mount any number of endpoints, or mount this
+// one under their own router.
+func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -102,7 +132,20 @@ func Serve(addr string) (bound string, shutdown func() error, err error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// Serve starts the live observability endpoint on addr ("host:port";
+// port 0 picks a free one), serving Handler(). It returns the bound
+// address and a shutdown function. Serve can be called any number of
+// times — each call gets its own listener, server and mux, and no
+// process-global state is touched.
+func Serve(addr string) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Close() makes Serve return ErrServerClosed
 	return ln.Addr().String(), srv.Close, nil
 }

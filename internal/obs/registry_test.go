@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeTwice is the regression test for the double-registration
+// panic: the old endpoint registered its handlers on the process-global
+// DefaultServeMux, so a second Serve (a second sweep in the same
+// process, or a test after a test) crashed with "pattern already
+// registered". Both servers must come up and both must answer.
+func TestServeTwice(t *testing.T) {
+	Register("serve-twice", New(2))
+	defer Register("serve-twice", nil)
+
+	var bounds []string
+	for i := 0; i < 2; i++ {
+		bound, shutdown, err := Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Serve #%d: %v", i+1, err)
+		}
+		defer shutdown() //nolint:errcheck
+		bounds = append(bounds, bound)
+	}
+	for _, bound := range bounds {
+		resp, err := http.Get("http://" + bound + "/debug/vars")
+		if err != nil {
+			t.Fatalf("GET %s/debug/vars: %v", bound, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/debug/vars: status %d", bound, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "npb.obs") {
+			t.Errorf("%s/debug/vars does not expose npb.obs", bound)
+		}
+	}
+}
+
+// TestHandlerIsSelfContained: Handler() must build a private mux each
+// call — usable standalone, mountable many times, no global mutation.
+func TestHandlerIsSelfContained(t *testing.T) {
+	h1, h2 := Handler(), Handler()
+	for i, h := range []http.Handler{h1, h2} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("handler %d: /debug/vars status %d", i, rr.Code)
+		}
+		var vars map[string]json.RawMessage
+		if err := json.Unmarshal(rr.Body.Bytes(), &vars); err != nil {
+			t.Fatalf("handler %d: /debug/vars is not JSON: %v", i, err)
+		}
+		rr = httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("handler %d: /debug/pprof/cmdline status %d", i, rr.Code)
+		}
+	}
+}
+
+// TestRegisterSameNameTwice: re-registering a name replaces the entry
+// (no panic, no duplicate), and nil unregisters it.
+func TestRegisterSameNameTwice(t *testing.T) {
+	a, b := New(1), New(2)
+	Register("dup", a)
+	Register("dup", b)
+	defer Register("dup", nil)
+	views := snapshotAll()
+	v, ok := views["dup"]
+	if !ok {
+		t.Fatal("re-registered recorder missing from registry")
+	}
+	if v.Workers != 2 {
+		t.Fatalf("registry kept the old recorder: workers = %d, want 2", v.Workers)
+	}
+	Register("dup", nil)
+	if _, ok := snapshotAll()["dup"]; ok {
+		t.Fatal("Register(name, nil) did not unregister")
+	}
+}

@@ -1,0 +1,197 @@
+package perfcount
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// spin burns CPU long enough for the kernel clocks to advance.
+func spin(iters int) float64 {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x = x*1.0000001 + 0.5
+		if x > 2e9 {
+			x *= 0.5
+		}
+	}
+	return x
+}
+
+// softwareSampler returns a bound 1..n-worker software-set sampler or
+// skips the test where even software events are unavailable (non-Linux
+// stub builds).
+func softwareSampler(t *testing.T, workers int) *Sampler {
+	t.Helper()
+	s, err := NewSoftware(workers)
+	if err != nil {
+		var ue *UnavailableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("NewSoftware: error is %T, want *UnavailableError: %v", err, err)
+		}
+		t.Skipf("software counters unavailable here: %v", err)
+	}
+	return s
+}
+
+func TestUnavailableErrorCarriesReason(t *testing.T) {
+	if err := Probe(); err != nil {
+		var ue *UnavailableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("Probe error is %T, want *UnavailableError: %v", err, err)
+		}
+		if ue.Reason == "" {
+			t.Fatal("UnavailableError with empty reason: the journaled note would be blank")
+		}
+		if _, nerr := New(2); nerr == nil {
+			t.Fatal("New succeeded although Probe failed")
+		}
+		t.Logf("hardware counters unavailable (expected in CI): %v", ue.Reason)
+		return
+	}
+	s, err := New(2)
+	if err != nil {
+		t.Fatalf("Probe passed but New failed: %v", err)
+	}
+	if s.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", s.Workers())
+	}
+	s.Close()
+}
+
+// TestReadsMonotonic is the core property of the group-read path:
+// accumulated counters never decrease across region samples, region
+// after region.
+func TestReadsMonotonic(t *testing.T) {
+	s := softwareSampler(t, 1)
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if err := s.Bind(0); err != nil {
+		t.Fatalf("Bind(0): %v", err)
+	}
+	defer func() { s.Unbind(0); s.Close() }()
+
+	var prev Values
+	for region := 0; region < 20; region++ {
+		s.RegionStart(0)
+		spin(200_000)
+		s.RegionEnd(0)
+		cur := s.Snapshot().Values
+		if cur.TaskClockNs < prev.TaskClockNs || cur.CPUClockNs < prev.CPUClockNs ||
+			cur.PageFaults < prev.PageFaults || cur.CtxSwitches < prev.CtxSwitches ||
+			cur.TimeEnabledNs < prev.TimeEnabledNs || cur.TimeRunningNs < prev.TimeRunningNs {
+			t.Fatalf("region %d: snapshot went backwards: %+v -> %+v", region, prev, cur)
+		}
+		prev = cur
+	}
+	if prev.TaskClockNs == 0 {
+		t.Fatal("no task-clock time accumulated over 20 busy regions")
+	}
+}
+
+// TestPerWorkerDeltasSumToTotals: the snapshot's totals are exactly the
+// sum of its per-worker values, and each worker's running time stays
+// within its enabled time (running/enabled is the kernel's multiplexing
+// scale, so running > enabled would mean an impossible scale > 1).
+func TestPerWorkerDeltasSumToTotals(t *testing.T) {
+	const workers = 3
+	s := softwareSampler(t, workers)
+	done := make(chan struct{})
+	for id := 0; id < workers; id++ {
+		go func(id int) {
+			defer func() { done <- struct{}{} }()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			if err := s.Bind(id); err != nil {
+				t.Errorf("Bind(%d): %v", id, err)
+				return
+			}
+			defer s.Unbind(id)
+			for r := 0; r < 10; r++ {
+				s.RegionStart(id)
+				spin(100_000)
+				s.RegionEnd(id)
+			}
+		}(id)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	st := s.Snapshot()
+	if len(st.PerWorker) != workers {
+		t.Fatalf("PerWorker has %d entries, want %d", len(st.PerWorker), workers)
+	}
+	var sum Values
+	for id, w := range st.PerWorker {
+		sum.TaskClockNs += w.TaskClockNs
+		sum.CPUClockNs += w.CPUClockNs
+		sum.PageFaults += w.PageFaults
+		sum.CtxSwitches += w.CtxSwitches
+		sum.TimeEnabledNs += w.TimeEnabledNs
+		sum.TimeRunningNs += w.TimeRunningNs
+		if w.TimeRunningNs > w.TimeEnabledNs {
+			t.Errorf("worker %d: running %dns > enabled %dns (scale %.3f > 1)",
+				id, w.TimeRunningNs, w.TimeEnabledNs, w.Scale())
+		}
+		if w.TaskClockNs == 0 {
+			t.Errorf("worker %d accumulated no task clock over 10 busy regions", id)
+		}
+	}
+	if st.Values != sum {
+		t.Fatalf("totals %+v != per-worker sum %+v", st.Values, sum)
+	}
+	s.Close()
+}
+
+// TestUnboundSlotsAreNoOps: sampling methods on never-bound or
+// out-of-range slots must be safe no-ops — the team calls them
+// unconditionally once a sampler is attached.
+func TestUnboundSlotsAreNoOps(t *testing.T) {
+	s := softwareSampler(t, 2)
+	s.RegionStart(0)
+	s.RegionEnd(0)
+	s.RegionStart(-1)
+	s.RegionEnd(99)
+	s.Unbind(0)
+	s.Unbind(-1)
+	s.Unbind(99)
+	st := s.Snapshot()
+	if st.TaskClockNs != 0 {
+		t.Fatalf("unbound sampling accumulated %dns task clock", st.TaskClockNs)
+	}
+	s.Close()
+}
+
+func TestDerivedRatios(t *testing.T) {
+	v := Values{Cycles: 1000, Instructions: 2500, LLCLoads: 400, LLCMisses: 100,
+		TimeEnabledNs: 200, TimeRunningNs: 100}
+	if got := v.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := v.LLCMissRate(); got != 0.25 {
+		t.Errorf("LLCMissRate = %v, want 0.25", got)
+	}
+	if got := v.Scale(); got != 0.5 {
+		t.Errorf("Scale = %v, want 0.5", got)
+	}
+	var zero Values
+	if zero.IPC() != 0 || zero.LLCMissRate() != 0 || zero.Scale() != 1 {
+		t.Errorf("zero values: IPC=%v missRate=%v scale=%v, want 0, 0, 1",
+			zero.IPC(), zero.LLCMissRate(), zero.Scale())
+	}
+}
+
+func TestSnapshotSetName(t *testing.T) {
+	s := softwareSampler(t, 1)
+	defer s.Close()
+	st := s.Snapshot()
+	if st.Set != "software" {
+		t.Fatalf("Set = %q, want software", st.Set)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", st.Workers)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

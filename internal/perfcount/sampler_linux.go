@@ -1,0 +1,361 @@
+//go:build linux && (amd64 || arm64)
+
+// Linux implementation: raw perf_event_open(2) groups, one per worker
+// OS thread, read with a single raw read(2) syscall into a hoisted
+// buffer. No cgo and no external modules — the attr struct and the ABI
+// constants are declared here directly.
+//
+// Group-read layout (PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED |
+// TOTAL_TIME_RUNNING), all u64:
+//
+//	[0] nr            — number of events in the group
+//	[1] time_enabled  — ns the group was scheduled or queued
+//	[2] time_running  — ns the group actually counted
+//	[3+k]             — value of event k, leader first
+//
+// When time_running < time_enabled the kernel multiplexed the PMU;
+// Values.Scale exposes the correction factor rather than silently
+// inflating counts.
+package perfcount
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// perfEventAttr mirrors struct perf_event_attr up to and including the
+// sample_max_stack field (ABI size 112, PERF_ATTR_SIZE_VER5); the
+// kernel accepts any historical size it knows.
+type perfEventAttr struct {
+	Type             uint32
+	Size             uint32
+	Config           uint64
+	Sample           uint64
+	SampleType       uint64
+	ReadFormat       uint64
+	Bits             uint64 // flag bitfield: disabled, exclude_kernel, ...
+	Wakeup           uint32
+	BPType           uint32
+	Config1          uint64
+	Config2          uint64
+	BranchSampleType uint64
+	SampleRegsUser   uint64
+	SampleStackUser  uint32
+	ClockID          int32
+	SampleRegsIntr   uint64
+	AuxWatermark     uint32
+	SampleMaxStack   uint16
+	_                uint16
+}
+
+const (
+	// ReadFormat bits.
+	fmtTotalTimeEnabled = 1 << 0
+	fmtTotalTimeRunning = 1 << 1
+	fmtGroup            = 1 << 3
+
+	// Bits flags.
+	bitDisabled      = 1 << 0
+	bitExcludeKernel = 1 << 5
+	bitExcludeHV     = 1 << 6
+
+	perfFlagFDCloexec = 8
+
+	ioctlEnable    = 0x2400 // PERF_EVENT_IOC_ENABLE
+	iocFlagGroup   = 1      // PERF_IOC_FLAG_GROUP
+	paranoidSysctl = "/proc/sys/kernel/perf_event_paranoid"
+	groupReadWords = 3 // nr + time_enabled + time_running before values
+)
+
+// group is one worker's thread-bound perf event group: the leader fd,
+// its member fds (closed together), and the hoisted read buffers the
+// region hot path reads into. Everything here is owned by the bound
+// worker; only the accumulator slots are shared.
+type group struct {
+	fd      int // leader fd; -1 when unbound
+	members []int
+	locked  bool // this goroutine holds runtime.LockOSThread
+	start   [maxGroupWords]uint64
+	buf     [maxGroupWords]uint64
+}
+
+// openEvent issues the raw perf_event_open syscall for the calling
+// thread (pid 0, cpu -1) under groupFD (-1 opens a leader).
+func openEvent(ev eventDesc, disabled bool, groupFD int) (int, error) {
+	attr := perfEventAttr{
+		Type:       ev.typ,
+		Config:     ev.config,
+		ReadFormat: fmtGroup | fmtTotalTimeEnabled | fmtTotalTimeRunning,
+		Bits:       bitExcludeKernel | bitExcludeHV,
+	}
+	if disabled {
+		attr.Bits |= bitDisabled
+	}
+	attr.Size = uint32(unsafe.Sizeof(attr))
+	fd, _, errno := syscall.Syscall6(sysPerfEventOpen,
+		uintptr(unsafe.Pointer(&attr)), 0, ^uintptr(0), uintptr(groupFD), perfFlagFDCloexec, 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+// openGroup opens a whole event set against the calling thread, leader
+// first and initially disabled, then enables the group atomically. On
+// any member failure everything already opened is closed.
+func openGroup(set *eventSet) (leader int, members []int, err error) {
+	leader, err = openEvent(set.events[0], true, -1)
+	if err != nil {
+		return -1, nil, fmt.Errorf("perf_event_open(%s leader): %w", set.name, err)
+	}
+	for _, ev := range set.events[1:] {
+		fd, err := openEvent(ev, false, leader)
+		if err != nil {
+			for _, m := range members {
+				syscall.Close(m)
+			}
+			syscall.Close(leader)
+			return -1, nil, fmt.Errorf("perf_event_open(%s type=%d config=%#x): %w", set.name, ev.typ, ev.config, err)
+		}
+		members = append(members, fd)
+	}
+	if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(leader), ioctlEnable, iocFlagGroup); errno != 0 {
+		for _, m := range members {
+			syscall.Close(m)
+		}
+		syscall.Close(leader)
+		return -1, nil, fmt.Errorf("PERF_EVENT_IOC_ENABLE: %w", errno)
+	}
+	return leader, members, nil
+}
+
+// paranoidLevel reads the kernel's perf_event_paranoid policy for error
+// messages; "?" when the sysctl itself is unreadable.
+func paranoidLevel() string {
+	buf, err := os.ReadFile(paranoidSysctl)
+	if err != nil {
+		return "?"
+	}
+	return strings.TrimSpace(string(buf))
+}
+
+// probeSet checks once whether a whole event set can be opened on this
+// host by opening and immediately closing a group on a locked thread.
+func probeSet(set *eventSet) error {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	leader, members, err := openGroup(set)
+	if err != nil {
+		reason := fmt.Sprintf("%v (perf_event_paranoid=%s)", err, paranoidLevel())
+		if errno, ok := unwrapErrno(err); ok {
+			switch errno {
+			case syscall.EACCES, syscall.EPERM:
+				reason = fmt.Sprintf("%v — perf_event_paranoid=%s denies unprivileged counters", err, paranoidLevel())
+			case syscall.ENOENT, syscall.ENODEV, syscall.EOPNOTSUPP:
+				reason = fmt.Sprintf("%v — event not supported here (no PMU exposed to this VM/container?)", err)
+			}
+		}
+		return &UnavailableError{Reason: reason}
+	}
+	for _, m := range members {
+		syscall.Close(m)
+	}
+	syscall.Close(leader)
+	return nil
+}
+
+func unwrapErrno(err error) (syscall.Errno, bool) {
+	for err != nil {
+		if errno, ok := err.(syscall.Errno); ok {
+			return errno, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return 0, false
+		}
+		err = u.Unwrap()
+	}
+	return 0, false
+}
+
+var (
+	hwProbeOnce sync.Once
+	hwProbeErr  error
+	swProbeOnce sync.Once
+	swProbeErr  error
+)
+
+// Probe reports whether the full hardware counter group is available in
+// this process, probing the kernel once and caching the verdict. A nil
+// return means New will succeed.
+func Probe() error {
+	hwProbeOnce.Do(func() { hwProbeErr = probeSet(hardwareSet) })
+	return hwProbeErr
+}
+
+// ProbeSoftware is Probe for the software fallback set.
+func ProbeSoftware() error {
+	swProbeOnce.Do(func() { swProbeErr = probeSet(softwareSet) })
+	return swProbeErr
+}
+
+// New creates a sampler over the hardware event set for a team of the
+// given size (>= 1). It returns an *UnavailableError — with the
+// journaled reason — when the host cannot open the group; callers then
+// run with a nil sampler, the disabled state.
+func New(workers int) (*Sampler, error) {
+	if err := Probe(); err != nil {
+		return nil, err
+	}
+	return newSampler(hardwareSet, workers), nil
+}
+
+// NewSoftware creates a sampler over the kernel's software clock/fault
+// events instead of the hardware PMU group. Software events stay
+// available where the PMU is not (VMs, CI containers), so this set
+// backs the test suite's group-read coverage and the allocation gates;
+// it has no benchmark-facing wiring — requesting counters on a PMU-less
+// host reports unavailable rather than silently degrading.
+func NewSoftware(workers int) (*Sampler, error) {
+	if err := ProbeSoftware(); err != nil {
+		return nil, err
+	}
+	return newSampler(softwareSet, workers), nil
+}
+
+func newSampler(set *eventSet, workers int) *Sampler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Sampler{set: set, slots: make([]wslot, workers), groups: make([]group, workers)}
+	for id := range s.groups {
+		s.groups[id].fd = -1
+	}
+	return s
+}
+
+// Bind pins the calling goroutine to its OS thread and opens worker
+// id's event group against it. The worker owns the slot until Unbind:
+// the team binds ids 1..n-1 from its worker goroutines, and the run
+// driver binds id 0 (the master) for the duration of the run — region
+// deltas are only attributable while the goroutine cannot migrate.
+// Binding an already-bound or out-of-range slot is a no-op.
+func (s *Sampler) Bind(id int) error {
+	if id < 0 || id >= len(s.groups) {
+		return nil
+	}
+	g := &s.groups[id]
+	if g.fd >= 0 {
+		return nil
+	}
+	runtime.LockOSThread()
+	leader, members, err := openGroup(s.set)
+	if err != nil {
+		runtime.UnlockOSThread()
+		s.setNote(fmt.Sprintf("worker %d bind failed: %v", id, err))
+		return err
+	}
+	g.fd, g.members, g.locked = leader, members, true
+	g.readInto(&g.start)
+	return nil
+}
+
+// Unbind closes worker id's group and releases its OS thread. Safe on
+// never-bound slots.
+func (s *Sampler) Unbind(id int) {
+	if id < 0 || id >= len(s.groups) {
+		return
+	}
+	g := &s.groups[id]
+	if g.fd < 0 {
+		return
+	}
+	for _, m := range g.members {
+		syscall.Close(m)
+	}
+	syscall.Close(g.fd)
+	g.fd, g.members = -1, nil
+	if g.locked {
+		g.locked = false
+		runtime.UnlockOSThread()
+	}
+}
+
+// Close unbinds every still-bound slot. The worker-owned slots are
+// normally unbound by their own goroutines (team close); Close is the
+// master-side backstop for fds, not threads — it must only run once the
+// team has joined.
+func (s *Sampler) Close() {
+	for id := range s.groups {
+		g := &s.groups[id]
+		if g.fd < 0 {
+			continue
+		}
+		for _, m := range g.members {
+			syscall.Close(m)
+		}
+		syscall.Close(g.fd)
+		g.fd, g.members = -1, nil
+		// The owning goroutine's LockOSThread cannot be released from
+		// here; workers unlock themselves on exit.
+	}
+}
+
+// readInto reads the whole group into dst with one raw syscall. The
+// buffer is hoisted and the syscall allocates nothing, which is what
+// keeps the region hot path inside the zero-allocation gates. A short
+// or failed read leaves dst's nr word zero, which the callers treat as
+// "no sample".
+func (g *group) readInto(dst *[maxGroupWords]uint64) {
+	dst[0] = 0
+	n, _, errno := syscall.Syscall(syscall.SYS_READ, uintptr(g.fd),
+		uintptr(unsafe.Pointer(&dst[0])), unsafe.Sizeof(*dst))
+	if errno != 0 || int(n) < (groupReadWords+1)*8 {
+		dst[0] = 0
+	}
+}
+
+// RegionStart samples worker id's group at a parallel region entry.
+// It is a single raw read into the worker-owned start buffer; unbound
+// slots cost one comparison.
+func (s *Sampler) RegionStart(id int) {
+	if id < 0 || id >= len(s.groups) || s.groups[id].fd < 0 {
+		return
+	}
+	g := &s.groups[id]
+	g.readInto(&g.start)
+}
+
+// RegionEnd samples worker id's group at region exit and charges the
+// deltas since RegionStart to the worker's accumulator slot. Counter
+// wrap/reset (which perf never does on running counters) and torn
+// samples degrade to a dropped region, never a negative delta.
+func (s *Sampler) RegionEnd(id int) {
+	if id < 0 || id >= len(s.groups) || s.groups[id].fd < 0 {
+		return
+	}
+	g := &s.groups[id]
+	g.readInto(&g.buf)
+	nev := uint64(len(s.set.events))
+	if g.start[0] != nev || g.buf[0] != nev {
+		return // torn or failed sample on either side
+	}
+	slot := &s.slots[id]
+	for k := 0; k < int(nev); k++ {
+		end, begin := g.buf[groupReadWords+k], g.start[groupReadWords+k]
+		if end > begin {
+			slot.vals[k].Add(end - begin)
+		}
+	}
+	if g.buf[1] > g.start[1] {
+		slot.vals[nFields].Add(g.buf[1] - g.start[1])
+	}
+	if g.buf[2] > g.start[2] {
+		slot.vals[nFields+1].Add(g.buf[2] - g.start[2])
+	}
+}

@@ -1,0 +1,45 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Stub build: perf_event_open is Linux-only (and the raw syscall layer
+// here targets amd64/arm64), so every other platform gets the disabled
+// state. Probe and the constructors report unavailability with the
+// standard *UnavailableError so callers journal "counters: unavailable
+// (...)" exactly as on a PMU-less Linux host, and the sampling methods
+// compile to no-ops — the rest of the stack builds and tests green
+// everywhere.
+package perfcount
+
+// group has no per-OS state on stub builds.
+type group struct{}
+
+var errUnsupported = &UnavailableError{
+	Reason: "perf_event_open not supported on this platform (Linux amd64/arm64 only)",
+}
+
+// Probe reports that hardware counters are unavailable on this build.
+func Probe() error { return errUnsupported }
+
+// ProbeSoftware reports that software counters are unavailable on this
+// build.
+func ProbeSoftware() error { return errUnsupported }
+
+// New always fails on stub builds; callers fall back to a nil sampler.
+func New(workers int) (*Sampler, error) { return nil, errUnsupported }
+
+// NewSoftware always fails on stub builds.
+func NewSoftware(workers int) (*Sampler, error) { return nil, errUnsupported }
+
+// Bind is a no-op on stub builds.
+func (s *Sampler) Bind(id int) error { return nil }
+
+// Unbind is a no-op on stub builds.
+func (s *Sampler) Unbind(id int) {}
+
+// Close is a no-op on stub builds.
+func (s *Sampler) Close() {}
+
+// RegionStart is a no-op on stub builds.
+func (s *Sampler) RegionStart(id int) {}
+
+// RegionEnd is a no-op on stub builds.
+func (s *Sampler) RegionEnd(id int) {}

@@ -15,6 +15,7 @@ import (
 
 	"npbgo/internal/nscore"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
 	"npbgo/internal/trace"
@@ -48,10 +49,11 @@ type Benchmark struct {
 	c       nscore.Consts
 	f       *nscore.Field
 
-	timers *timer.Set    // nil unless WithTimers
-	rec    *obs.Recorder // nil without WithObs
-	tr     *trace.Tracer // nil without WithTrace
-	sched  team.Schedule // loop schedule, Static without WithSchedule
+	timers *timer.Set         // nil unless WithTimers
+	rec    *obs.Recorder      // nil without WithObs
+	tr     *trace.Tracer      // nil without WithTrace
+	pc     *perfcount.Sampler // nil without WithCounters
+	sched  team.Schedule      // loop schedule, Static without WithSchedule
 
 	// Derived constants specific to SP's scalar solver.
 	dttx1, dttx2, dtty1, dtty2, dttz1, dttz2 float64
@@ -112,6 +114,12 @@ func WithObs(rec *obs.Recorder) Option { return func(b *Benchmark) { b.rec = rec
 // exportable as Chrome/Perfetto JSON — the when-view that complements
 // the obs layer's how-much totals.
 func WithTrace(tr *trace.Tracer) Option { return func(b *Benchmark) { b.tr = tr } }
+
+// WithCounters attaches a hardware-counter sampler to the run's team:
+// per-worker cycles/instructions/cache-miss deltas are charged to pc at
+// every parallel region. pc should be sized perfcount.New(threads); nil
+// leaves counter sampling disabled.
+func WithCounters(pc *perfcount.Sampler) Option { return func(b *Benchmark) { b.pc = pc } }
 
 // WithSchedule selects the team's loop schedule for the plane loops of
 // the RHS evaluation, the eigenvector transforms and the three factor
@@ -354,7 +362,7 @@ type Result struct {
 // feed-through step, re-initialization, then niter timed steps and
 // verification.
 func (b *Benchmark) Run() Result {
-	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithSchedule(b.sched))
+	tm := team.New(b.threads, team.WithRecorder(b.rec), team.WithTracer(b.tr), team.WithCounters(b.pc), team.WithSchedule(b.sched))
 	defer tm.Close()
 
 	b.f.Initialize(&b.c)

@@ -35,6 +35,7 @@ import (
 
 	"npbgo/internal/fault"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/trace"
 )
 
@@ -73,6 +74,7 @@ type Team struct {
 	barrier barrier
 	partial []padded    // reduction scratch, one padded slot per worker
 	closed  atomic.Bool // set once by Close; guarded by CAS so Close races with itself safely
+	joined  sync.WaitGroup
 
 	// rec is the optional obs recorder (WithRecorder). When nil —
 	// the default — every instrumentation point is a single pointer
@@ -83,6 +85,12 @@ type Team struct {
 	// contract as rec: nil disables every trace point down to one
 	// pointer check.
 	tr *trace.Tracer
+
+	// pc is the optional hardware-counter sampler (WithCounters), under
+	// the same nil-disabled contract: workers bind their perf event
+	// groups to their OS threads at spawn and the team samples the
+	// groups at region entry/exit, charging per-worker counter deltas.
+	pc *perfcount.Sampler
 	// regionSeq numbers parallel regions for trace correlation; it only
 	// advances while a tracer is attached.
 	regionSeq atomic.Uint64
@@ -144,6 +152,18 @@ func WithTracer(tr *trace.Tracer) Option {
 	return func(t *Team) { t.tr = tr }
 }
 
+// WithCounters attaches a hardware-counter sampler: each worker
+// goroutine locks its OS thread, binds its perf event group to it for
+// the team's lifetime, and the team reads the group at every region
+// entry and exit so cycles/instructions/cache-miss deltas are charged
+// per worker per region (perfcount.Sampler slots 1..n-1; slot 0, the
+// master, is bound by the run driver that owns the calling goroutine).
+// pc should be sized perfcount.New(n) for a team of n; a nil pc leaves
+// counter sampling disabled at the cost of one pointer check.
+func WithCounters(pc *perfcount.Sampler) Option {
+	return func(t *Team) { t.pc = pc }
+}
+
 // New creates a team of n workers (n >= 1). Workers other than worker 0
 // are persistent goroutines parked on their work channels, mirroring the
 // paper's always-alive Thread objects in the blocked state. Close the
@@ -181,12 +201,22 @@ func New(n int, opts ...Option) *Team {
 	t.barrier.init(n, &t.halt, t.rec, t.tr)
 	for id := 1; id < n; id++ {
 		t.work[id] = make(chan func(int))
+		t.joined.Add(1)
 		go t.worker(id)
 	}
 	return t
 }
 
 func (t *Team) worker(id int) {
+	defer t.joined.Done()
+	if t.pc != nil {
+		// Counter groups measure the thread they are opened on, so the
+		// worker pins itself to its OS thread for its whole life and
+		// opens its group here; a bind failure is noted on the sampler
+		// and the worker simply runs unsampled.
+		t.pc.Bind(id)
+		defer t.pc.Unbind(id)
+	}
 	for fn := range t.work[id] {
 		t.runOne(fn, id)
 		t.done <- struct{}{}
@@ -211,6 +241,12 @@ func (t *Team) runOne(fn func(int), id int) {
 		// Registered before the recover defer so it runs after it:
 		// a panicking worker's time is still charged.
 		defer func() { t.rec.AddBusy(id, time.Since(start)) }()
+	}
+	if t.pc != nil {
+		// Same defer ordering argument as the recorder: a panicking
+		// worker's counter deltas are still charged to its slot.
+		t.pc.RegionStart(id)
+		defer t.pc.RegionEnd(id)
 	}
 	defer func() {
 		if v := recover(); v != nil {
@@ -300,18 +336,21 @@ func (t *Team) WatchContext(ctx context.Context) (stop func()) {
 // Size returns the number of workers in the team.
 func (t *Team) Size() int { return t.n }
 
-// Close shuts the worker goroutines down. The team must be idle (no
-// region in flight); a team whose last region failed or was cancelled is
-// idle once Run/RunCtx has returned. Close is idempotent and safe to
-// call from multiple goroutines: exactly one caller wins the
-// compare-and-swap and closes the work channels.
+// Close shuts the worker goroutines down and joins them. The team must
+// be idle (no region in flight); a team whose last region failed or was
+// cancelled is idle once Run/RunCtx has returned. Close is idempotent
+// and safe to call from multiple goroutines: exactly one caller wins
+// the compare-and-swap and closes the work channels, and every caller
+// waits for the workers to exit — so once any Close returns, the
+// workers have run their deferred cleanup (counter-group unbinds in
+// particular) and an attached perfcount.Sampler may safely be closed.
 func (t *Team) Close() {
-	if !t.closed.CompareAndSwap(false, true) {
-		return
+	if t.closed.CompareAndSwap(false, true) {
+		for id := 1; id < t.n; id++ {
+			close(t.work[id])
+		}
 	}
-	for id := 1; id < t.n; id++ {
-		close(t.work[id])
-	}
+	t.joined.Wait()
 }
 
 // Run executes fn(id) on every worker, id in [0, Size()), with the
@@ -503,6 +542,10 @@ func (t *Team) inline(fn func()) {
 			t.tr.BlockEnd(0, seq)
 			t.tr.RegionEnd(seq)
 		}()
+	}
+	if t.pc != nil {
+		t.pc.RegionStart(0)
+		defer t.pc.RegionEnd(0)
 	}
 	if t.rec == nil {
 		fn()

@@ -27,6 +27,7 @@ import (
 	"npbgo/internal/lu"
 	"npbgo/internal/mg"
 	"npbgo/internal/obs"
+	"npbgo/internal/perfcount"
 	"npbgo/internal/sp"
 	"npbgo/internal/team"
 	"npbgo/internal/timer"
@@ -97,6 +98,13 @@ type Config struct {
 	// changing any numerical result, and "auto" picks per-region from
 	// runtime feedback. Empty means static.
 	Schedule string
+	// Counters samples hardware performance counters (cycles,
+	// instructions, LLC loads/misses, branch misses) per worker per
+	// parallel region via perf_event_open; the run totals and per-worker
+	// split land in Result.Counters. Where counters are unavailable
+	// (restrictive perf_event_paranoid, no PMU, non-Linux build) the run
+	// proceeds normally and Result.CountersNote records the reason.
+	Counters bool
 }
 
 // Result reports one benchmark run.
@@ -121,6 +129,13 @@ type Result struct {
 	// Trace holds the run's event-timeline snapshot, nil unless
 	// Config.Trace was set.
 	Trace *trace.Snapshot
+	// Counters holds the run's hardware-counter totals and per-worker
+	// split, nil unless Config.Counters was set and counters were
+	// available.
+	Counters *perfcount.Stats
+	// CountersNote records why Counters is nil when Config.Counters was
+	// set but sampling was unavailable: "unavailable (<reason>)".
+	CountersNote string
 }
 
 func fromReport(r *Result, rep *verify.Report) {
@@ -233,7 +248,32 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		ctx, endTask = trace.StartTask(ctx, fmt.Sprintf("%s.%c.t%d", cfg.Benchmark, cfg.Class, cfg.Threads))
 		defer endTask()
 	}
-	err, panicked := runBenchmark(ctx, cfg, sched, rec, tr, &res)
+	var pc *perfcount.Sampler
+	if cfg.Counters {
+		var cErr error
+		pc, cErr = perfcount.New(cfg.Threads)
+		if cErr != nil {
+			res.CountersNote = "unavailable (" + cErr.Error() + ")"
+		} else {
+			// Slot 0 is the master: benchmark regions run synchronously on
+			// this goroutine, so binding here pins it to its OS thread for
+			// the whole run and attributes the master's share. Workers
+			// bind their own slots (team.WithCounters). Close after the
+			// run is safe: the benchmark's team has joined by then.
+			pc.Bind(0)
+			defer func() { pc.Unbind(0); pc.Close() }()
+			if rec != nil {
+				rec.AttachCounters(pc)
+			}
+		}
+	}
+	err, panicked := runBenchmark(ctx, cfg, sched, rec, tr, pc, &res)
+	if pc != nil {
+		res.Counters = pc.Snapshot()
+		if n := res.Counters.Note; n != "" && res.CountersNote == "" {
+			res.CountersNote = n
+		}
+	}
 	if rec != nil {
 		res.Obs = rec.Snapshot()
 	}
@@ -270,9 +310,10 @@ func setProfile(res *Result, ts *timer.Set) {
 // runBenchmark dispatches to the benchmark implementation with panic
 // isolation: any panic escaping the run — a *team.PanicError re-raised
 // by a crashed worker region, or a master-side panic — is recovered and
-// returned with panicked = true. rec and tr, when non-nil, are attached
-// to the run's team for per-worker metrics and event timelines.
-func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs.Recorder, tr *trace.Tracer, res *Result) (err error, panicked bool) {
+// returned with panicked = true. rec, tr and pc, when non-nil, are
+// attached to the run's team for per-worker metrics, event timelines
+// and hardware-counter attribution.
+func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs.Recorder, tr *trace.Tracer, pc *perfcount.Sampler, res *Result) (err error, panicked bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			panicked = true
@@ -286,7 +327,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 	profile := cfg.Profile || cfg.Obs
 	switch cfg.Benchmark {
 	case BT:
-		opts := []bt.Option{bt.WithObs(rec), bt.WithTrace(tr), bt.WithSchedule(sched)}
+		opts := []bt.Option{bt.WithObs(rec), bt.WithTrace(tr), bt.WithCounters(pc), bt.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, bt.WithTimers())
 		}
@@ -299,7 +340,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case SP:
-		opts := []sp.Option{sp.WithObs(rec), sp.WithTrace(tr), sp.WithSchedule(sched)}
+		opts := []sp.Option{sp.WithObs(rec), sp.WithTrace(tr), sp.WithCounters(pc), sp.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, sp.WithTimers())
 		}
@@ -312,7 +353,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case LU:
-		opts := []lu.Option{lu.WithObs(rec), lu.WithTrace(tr), lu.WithSchedule(sched)}
+		opts := []lu.Option{lu.WithObs(rec), lu.WithTrace(tr), lu.WithCounters(pc), lu.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, lu.WithTimers())
 		}
@@ -325,7 +366,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case FT:
-		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec), ft.WithTrace(tr), ft.WithSchedule(sched))
+		b, err := ft.New(cfg.Class, cfg.Threads, ft.WithContext(ctx), ft.WithObs(rec), ft.WithTrace(tr), ft.WithCounters(pc), ft.WithSchedule(sched))
 		if err != nil {
 			return err, false
 		}
@@ -333,7 +374,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case MG:
-		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec), mg.WithTrace(tr), mg.WithSchedule(sched))
+		b, err := mg.New(cfg.Class, cfg.Threads, mg.WithContext(ctx), mg.WithObs(rec), mg.WithTrace(tr), mg.WithCounters(pc), mg.WithSchedule(sched))
 		if err != nil {
 			return err, false
 		}
@@ -341,7 +382,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case CG:
-		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec), cg.WithTrace(tr), cg.WithSchedule(sched)}
+		opts := []cg.Option{cg.WithContext(ctx), cg.WithObs(rec), cg.WithTrace(tr), cg.WithCounters(pc), cg.WithSchedule(sched)}
 		if cfg.Warmup {
 			opts = append(opts, cg.WithWarmup())
 		}
@@ -357,7 +398,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		setProfile(res, r.Timers)
 		fromReport(res, r.Verify)
 	case IS:
-		opts := []is.Option{is.WithObs(rec), is.WithTrace(tr), is.WithSchedule(sched)}
+		opts := []is.Option{is.WithObs(rec), is.WithTrace(tr), is.WithCounters(pc), is.WithSchedule(sched)}
 		if cfg.Buckets {
 			opts = append(opts, is.WithBuckets())
 		}
@@ -369,7 +410,7 @@ func runBenchmark(ctx context.Context, cfg Config, sched team.Schedule, rec *obs
 		res.Elapsed, res.Mops = r.Elapsed, r.Mops
 		fromReport(res, r.Verify)
 	case EP:
-		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec), ep.WithTrace(tr), ep.WithSchedule(sched)}
+		opts := []ep.Option{ep.WithContext(ctx), ep.WithObs(rec), ep.WithTrace(tr), ep.WithCounters(pc), ep.WithSchedule(sched)}
 		if profile {
 			opts = append(opts, ep.WithTimers())
 		}
