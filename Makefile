@@ -3,7 +3,7 @@
 GO ?= go
 NPBLINT := bin/npblint
 
-.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak schedule-check counters-check tables clean
+.PHONY: build test test-race race vet lint allocgate escape-check escape-baseline bench bench-json perf suite suite-obs suite-trace soak schedule-check counters-check profile-check tables clean
 
 build:
 	$(GO) build ./...
@@ -132,6 +132,21 @@ counters-check:
 	$(GO) run ./cmd/npbsuite -class S -bench IS,CG -threads 2 -counters -obs -obs-listen "" -obs-jsonl counters-cells.jsonl -bench-json counters-smoke.json
 	$(GO) run ./cmd/npbperf counters -require counters-smoke.json
 
+# Profiling smoke: a CG class-W sweep captured with -profile, decoded by
+# npbperf hotspots with the attribution floor — at least 80% of CPU
+# samples must land in symbolized npbgo/internal/... code (the paper's
+# "which kernel is the time in" question must stay answerable). Then two
+# identical class-S sweeps are profdiff'd: identical code must produce
+# zero significant share shifts, the gate's no-false-positives contract.
+# The CI profile-smoke job runs exactly this and keeps the artifacts.
+PROFILE_MINATTR ?= 80
+profile-check:
+	$(GO) run ./cmd/npbsuite -class W -bench CG -threads 2 -profile -profile-dir prof-w -bench-json prof-w.json
+	$(GO) run ./cmd/npbperf hotspots -require -min-attr $(PROFILE_MINATTR) prof-w.json
+	$(GO) run ./cmd/npbsuite -class S -bench CG,IS -threads 2 -profile -profile-dir prof-base -bench-json prof-base.json
+	$(GO) run ./cmd/npbsuite -class S -bench CG,IS -threads 2 -profile -profile-dir prof-head -bench-json prof-head.json
+	$(GO) run ./cmd/npbperf profdiff prof-base.json prof-head.json
+
 tables:
 	$(GO) run ./cmd/cfdops -threads $(THREADS)
 	$(GO) run ./cmd/jgflu -classes A,B,C
@@ -141,3 +156,5 @@ clean:
 	$(GO) clean ./...
 	rm -rf bin
 	rm -f perf-base.json perf-head.json soak-journal.jsonl sched-auto.json counters-smoke.json counters-cells.jsonl
+	rm -rf prof-w prof-base prof-head
+	rm -f prof-w.json prof-base.json prof-head.json

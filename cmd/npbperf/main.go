@@ -7,6 +7,8 @@
 //	npbperf compare  [-json] [-threshold 0.02] [-confidence 0.95] [-min-time 0.001] base.json head.json
 //	npbperf scaling  [-json] [-imbalance 1.5] [-barrier-share 0.2] [-small-work 0.001] [-ipc-drop 0.15] [-miss-rise 0.25] [-fail-on list] record.json...
 //	npbperf counters [-json] [-require] record.json...
+//	npbperf hotspots [-json] [-top n] [-heap] [-min-attr pct] [-require] record.json...
+//	npbperf profdiff [-json] [-heap] [-min-delta share] [-min-share share] base.json head.json
 //
 // stats prints median/min/IQR and a bootstrap confidence interval of
 // the median for every cell of each record — run sweeps with
@@ -38,9 +40,30 @@
 // 1 when no cell of any record carries counters or a note — the CI
 // smoke's "never silent zeros" assertion.
 //
+// hotspots decodes the per-cell pprof profiles a sweep captured with
+// npbsuite -profile (paths recorded in each cell) into symbolized
+// flat/cumulative hot-function tables — the decoder is this repo's own
+// stdlib-only pprof reader, no google/pprof needed. Each cell's table
+// is joined with its recorded imbalance and IPC, so one row answers
+// both where the time went and why. -json emits npbgo/profile/v1
+// records; -heap analyzes allocation (alloc_space) profiles; -min-attr
+// exits 1 when a decoded CPU profile attributes less than the given
+// percentage to symbolized npbgo/internal/... code (the CI floor);
+// -require exits 1 when no cell carries a decodable profile. A profile
+// that fails to decode (a truncated or damaged file) renders as an
+// explicit note, never silently.
+//
+// profdiff judges head profiles against base per matching cell
+// (benchmark, class, threads, schedule) under the compare conventions:
+// a function flags only when its sample-share shift is statistically
+// separated (binomial CIs at z=1.96) AND exceeds -min-delta, so two
+// sweeps of identical code exit 0. Exit 1 iff a significant shift
+// exists.
+//
 // All subcommands take -json for machine-readable output. Exit codes:
-// 0 clean, 1 regression found (compare, or scaling with -fail-on),
-// 2 usage or input error.
+// 0 clean, 1 regression found (compare, scaling with -fail-on,
+// hotspots with -min-attr/-require, profdiff with a shift), 2 usage or
+// input error.
 package main
 
 import (
@@ -74,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runScaling(args[1:], stdout, stderr)
 	case "counters":
 		return runCounters(args[1:], stdout, stderr)
+	case "hotspots":
+		return runHotspots(args[1:], stdout, stderr)
+	case "profdiff":
+		return runProfdiff(args[1:], stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "npbperf: unknown subcommand %q\n", args[0])
 		usage(stderr)
@@ -87,6 +114,8 @@ func usage(w io.Writer) {
   npbperf compare [-json] [-threshold rel] [-confidence c] [-min-time sec] base.json head.json
   npbperf scaling  [-json] [-imbalance r] [-barrier-share s] [-small-work sec] [-ipc-drop f] [-miss-rise f] [-fail-on list] record.json...
   npbperf counters [-json] [-require] record.json...
+  npbperf hotspots [-json] [-top n] [-heap] [-min-attr pct] [-require] record.json...
+  npbperf profdiff [-json] [-heap] [-min-delta share] [-min-share share] base.json head.json
 `)
 }
 

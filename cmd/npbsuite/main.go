@@ -44,6 +44,17 @@
 // cell into the directory — open them at ui.perfetto.dev, or check
 // them with `npbtrace validate`.
 //
+// -profile captures a CPU and a heap profile per cell into -profile-dir
+// (default profiles/) as "<BENCH>.<class>.<cell>.cpu.pprof" and
+// ".heap.pprof", recorded in the cell's metrics and bench records and
+// decoded by `npbperf hotspots` — no external pprof tooling needed. The
+// capture brackets the cell outside its timed region; under -isolate
+// the child process captures its own profiles and the parent collects
+// the files. A cell that fails still flushes its profile before the
+// failure is rendered — the profile of a dying cell is the
+// post-mortem (a hard-killed child flushes nothing; its empty file is
+// dropped rather than recorded as data).
+//
 // -bench-json <path> writes the sweep's machine-readable performance
 // record (schema npbgo/bench/v1: per-cell Mop/s, time, threads,
 // imbalance under a stamped host header). Pointing it at a directory
@@ -116,6 +127,8 @@ func main() {
 	obsListen := flag.String("obs-listen", "127.0.0.1:6060", "with -obs: address for the expvar/pprof endpoint (empty = no endpoint)")
 	obsJSONL := flag.String("obs-jsonl", "npb-metrics.jsonl", "with -obs: per-cell metrics JSONL file, appended (empty = no file)")
 	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace file per cell into this directory (enables execution tracing)")
+	profileFlag := flag.Bool("profile", false, "capture a CPU and heap profile per cell (see -profile-dir); decode with `npbperf hotspots`")
+	profileDir := flag.String("profile-dir", "profiles", "with -profile: directory for the per-cell .cpu.pprof/.heap.pprof files")
 	benchJSON := flag.String("bench-json", "", "write the sweep's performance record as JSON to this path (a directory auto-names BENCH_<stamp>.json)")
 	listFaults := flag.Bool("list-faults", false, "print the registered fault injection site keys and exit")
 	journalPath := flag.String("journal", "", "write a durable sweep journal (fsync'd JSONL) to this path")
@@ -213,6 +226,13 @@ func main() {
 		TraceDir: *traceDir,
 		Context:  ctx,
 	}
+	if *profileFlag {
+		if *profileDir == "" {
+			fmt.Fprintln(os.Stderr, "npbsuite: -profile needs a non-empty -profile-dir")
+			os.Exit(2)
+		}
+		opt.ProfileDir = *profileDir
+	}
 	stamp := time.Now().UTC().Format("20060102T150405Z")
 	switch {
 	case *resumePath != "":
@@ -293,6 +313,9 @@ func main() {
 		cl, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if *traceDir != "" {
 		fmt.Printf("trace: per-cell Perfetto timelines written to %s/ (open at ui.perfetto.dev)\n\n", *traceDir)
+	}
+	if opt.ProfileDir != "" {
+		fmt.Printf("profile: per-cell CPU/heap profiles written to %s/ (decode with `npbperf hotspots`)\n\n", opt.ProfileDir)
 	}
 	if *countersFlag {
 		if err := perfcount.Probe(); err != nil {

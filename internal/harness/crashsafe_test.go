@@ -161,9 +161,9 @@ func isolationForTest(t *testing.T) *Isolation {
 }
 
 func TestIsolatedCellHappyPath(t *testing.T) {
-	res, err := runIsolated(context.Background(),
+	res, _, err := runIsolated(context.Background(),
 		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1},
-		0, isolationForTest(t))
+		0, isolationForTest(t), "", "")
 	if err != nil {
 		t.Fatalf("isolated cell failed: %v", err)
 	}
@@ -181,9 +181,9 @@ func TestIsolatedTimeoutKilled(t *testing.T) {
 	iso.FaultRules = []fault.Rule{{Site: "cg.iter", Kind: fault.KindDelay,
 		Count: -1, Sleep: 30 * time.Second}}
 	start := time.Now()
-	_, err := runIsolated(context.Background(),
+	_, _, err := runIsolated(context.Background(),
 		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1},
-		300*time.Millisecond, iso)
+		300*time.Millisecond, iso, "", "")
 	var ke *KilledError
 	if !asKilled(err, &ke) || ke.Reason != "timeout-killed" {
 		t.Fatalf("err = %v, want KilledError(timeout-killed)", err)
@@ -207,8 +207,8 @@ func TestIsolatedOOMKilled(t *testing.T) {
 	// Keep the child alive long enough for the first RSS sample.
 	iso.FaultRules = []fault.Rule{{Site: "cg.iter", Kind: fault.KindDelay,
 		Count: -1, Sleep: 30 * time.Second}}
-	_, err := runIsolated(context.Background(),
-		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso)
+	_, _, err := runIsolated(context.Background(),
+		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso, "", "")
 	var ke *KilledError
 	if !asKilled(err, &ke) || ke.Reason != "oom-killed" {
 		t.Fatalf("err = %v, want KilledError(oom-killed)", err)
@@ -231,8 +231,8 @@ func TestIsolatedCancelKillsChild(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err := runIsolated(ctx,
-		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso)
+	_, _, err := runIsolated(ctx,
+		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso, "", "")
 	var ke *KilledError
 	if !asKilled(err, &ke) || ke.Reason != "cancelled" {
 		t.Fatalf("err = %v, want KilledError(cancelled)", err)
@@ -249,8 +249,8 @@ func TestIsolatedErrorRoundTrip(t *testing.T) {
 	iso := isolationForTest(t)
 	iso.FaultSeed = 1
 	iso.FaultRules = []fault.Rule{{Site: "cg.verify", Kind: fault.KindCorrupt, Count: -1}}
-	_, err := runIsolated(context.Background(),
-		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso)
+	_, _, err := runIsolated(context.Background(),
+		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1}, 0, iso, "", "")
 	var re *npbgo.RunError
 	if !asRunError(err, &re) || re.Kind != npbgo.ErrVerification {
 		t.Fatalf("err = %v, want RunError(verification)", err)

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"npbgo"
@@ -29,6 +30,7 @@ import (
 	"npbgo/internal/journal"
 	"npbgo/internal/obs"
 	"npbgo/internal/perfcount"
+	"npbgo/internal/profile"
 	"npbgo/internal/report"
 	"npbgo/internal/timer"
 	"npbgo/internal/trace"
@@ -57,6 +59,17 @@ type Run struct {
 	// CountersNote records why it is nil when they were requested.
 	Counters     *perfcount.Stats
 	CountersNote string
+	// CPUProfile/HeapProfile are the cell's captured pprof files, empty
+	// unless Options.ProfileDir. A failed cell keeps what it flushed
+	// before dying; a hard-killed child flushes nothing (runtime/pprof
+	// writes only at stop), so its zero-byte file is filtered out and
+	// the killed cell records no profile — absence, not a torn file.
+	CPUProfile  string
+	HeapProfile string
+	// Env is the environment of the process that executed the cell, set
+	// only when it differs from this (recording) process's environment —
+	// which can only happen under Isolate.
+	Env *report.EnvInfo
 	// Replayed marks a cell restored from a journal on resume instead of
 	// executed; its numbers are the earlier run's.
 	Replayed bool
@@ -125,6 +138,16 @@ type Options struct {
 	// Metrics, when non-nil, receives one report.CellMetrics JSON line
 	// per cell as the sweep progresses.
 	Metrics io.Writer
+	// ProfileDir, when non-empty, captures a CPU and a heap profile per
+	// cell into the directory as "<BENCH>.<class>.<cell>.cpu.pprof" /
+	// ".heap.pprof" (serial baseline named "serial", like traces). The
+	// capture brackets each attempt — outside the benchmark's timed
+	// region — and is flushed before a failure is rendered, so a dying
+	// cell leaves its profile as the post-mortem. Under Isolate the child
+	// process captures and the parent collects the files. Repeats and
+	// retries overwrite in place: the surviving profile is the last
+	// attempt's, which for a failed cell is the failing one.
+	ProfileDir string
 	// TraceDir, when non-empty, enables execution tracing
 	// (npbgo.Config.Trace) for every cell and writes each cell's
 	// timeline into the directory as Chrome/Perfetto JSON —
@@ -326,6 +349,9 @@ func RunFromMetrics(m report.CellMetrics) Run {
 	}
 	r.Counters = m.Counters
 	r.CountersNote = m.CountersNote
+	r.CPUProfile = m.CPUProfile
+	r.HeapProfile = m.HeapProfile
+	r.Env = m.Env
 	return r
 }
 
@@ -337,27 +363,30 @@ func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int
 		repeats = 1
 	}
 	cfg := cellConfig(bench, class, threads, opt)
+	label := fmt.Sprintf("%s.%c.%s", bench, class, cellName(threads))
 	var best *Run
 	var samples []time.Duration
 	attempts := 0
 	for rep := 0; rep < repeats; rep++ {
-		res, used, err := runAttempts(ctx, cfg, opt)
+		res, env, used, err := runAttempts(ctx, cfg, label, opt)
 		attempts += used
 		if err != nil {
 			// A cancelled/failed run still carries its partial obs
 			// snapshot (cancellation counts, busy time up to the stop),
 			// which is exactly what a post-mortem wants to see — plus
 			// the samples of the repeats that did complete.
-			return Run{Threads: threads, Attempts: attempts, Samples: samples,
+			r := Run{Threads: threads, Attempts: attempts, Samples: samples,
 				Err: err, Obs: res.Obs, Phases: res.Phases, Trace: res.Trace,
 				Counters: res.Counters, CountersNote: res.CountersNote,
-				Schedule: opt.Schedule}
+				Schedule: opt.Schedule, Env: env}
+			stampProfiles(&r, opt, label)
+			return r
 		}
 		samples = append(samples, res.Elapsed)
 		r := Run{Threads: threads, Elapsed: res.Elapsed, Mops: res.Mops,
 			Verified: res.Verified, Tier: res.Tier, Obs: res.Obs, Phases: res.Phases,
 			Trace: res.Trace, Counters: res.Counters, CountersNote: res.CountersNote,
-			Schedule: opt.Schedule}
+			Schedule: opt.Schedule, Env: env}
 		if best == nil || r.Elapsed < best.Elapsed {
 			cp := r
 			best = &cp
@@ -365,7 +394,44 @@ func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int
 	}
 	best.Attempts = attempts
 	best.Samples = samples
+	stampProfiles(best, opt, label)
 	return *best
+}
+
+// stampProfiles records the cell's profile files on r — by probing the
+// filesystem, not by trusting the runner: a hard-killed isolated child
+// reports nothing back, but any profile it managed to flush before
+// dying is on disk. Empty files (a SIGKILL'd child's never-flushed CPU
+// profile) are filtered: absence must stay distinguishable from data.
+func stampProfiles(r *Run, opt Options, label string) {
+	if opt.ProfileDir == "" {
+		return
+	}
+	cpu, heap := profile.CellPaths(opt.ProfileDir, label)
+	if fileNonEmpty(cpu) {
+		r.CPUProfile = cpu
+	}
+	if fileNonEmpty(heap) {
+		r.HeapProfile = heap
+	}
+}
+
+func fileNonEmpty(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Size() > 0
+}
+
+// hostEnv is this process's environment snapshot, collected once — it
+// heads every bench record and is the baseline per-cell child
+// environments are compared against.
+var hostEnvOnce = struct {
+	once sync.Once
+	env  report.EnvInfo
+}{}
+
+func hostEnv() report.EnvInfo {
+	hostEnvOnce.once.Do(func() { hostEnvOnce.env = report.CollectEnv() })
+	return hostEnvOnce.env
 }
 
 // runAttempts runs one measurement, retrying transient failures up to
@@ -373,21 +439,21 @@ func runCell(ctx context.Context, bench npbgo.Benchmark, class byte, threads int
 // context-interruptible: cancelling the sweep mid-backoff returns
 // immediately instead of waiting out the delay, and a cancelled sweep
 // stops retrying. It returns the number of attempts consumed.
-func runAttempts(ctx context.Context, cfg npbgo.Config, opt Options) (npbgo.Result, int, error) {
+func runAttempts(ctx context.Context, cfg npbgo.Config, label string, opt Options) (npbgo.Result, *report.EnvInfo, int, error) {
 	backoff := opt.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
 	for attempt := 1; ; attempt++ {
-		res, err := runOnce(ctx, cfg, opt)
+		res, env, err := runOnce(ctx, cfg, label, opt)
 		if err == nil {
-			return res, attempt, nil
+			return res, env, attempt, nil
 		}
 		if attempt > opt.Retries || ctx.Err() != nil {
-			return res, attempt, err
+			return res, env, attempt, err
 		}
 		if !sleepCtx(ctx, backoff, opt.sleep) {
-			return res, attempt, err
+			return res, env, attempt, err
 		}
 		backoff *= 2
 	}
@@ -412,23 +478,42 @@ func sleepCtx(ctx context.Context, d time.Duration, injected func(time.Duration)
 
 // runOnce is a single panic-isolated, optionally deadline-bounded
 // benchmark execution — in-process by default, or a watchdogged child
-// process under opt.Isolate.
-func runOnce(ctx context.Context, cfg npbgo.Config, opt Options) (res npbgo.Result, err error) {
+// process under opt.Isolate. The returned EnvInfo is non-nil only when
+// an isolated child ran under a different environment than the parent.
+func runOnce(ctx context.Context, cfg npbgo.Config, label string, opt Options) (res npbgo.Result, env *report.EnvInfo, err error) {
+	// Defer ordering is load-bearing: the recovery defer is registered
+	// first, so during a panic unwind the capture Stop defer (registered
+	// below, thus running earlier) flushes and fsyncs the profile BEFORE
+	// the panic becomes an error — before FAIL(...) rendering, before
+	// any journal abort. Same discipline as the PR 9 metrics flush.
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("harness: cell panicked: %v", v)
 		}
 	}()
-	fault.Maybe("harness.cell")
 	if opt.Isolate != nil {
-		return runIsolated(ctx, cfg, opt.Timeout, opt.Isolate)
+		fault.Maybe("harness.cell")
+		return runIsolated(ctx, cfg, opt.Timeout, opt.Isolate, opt.ProfileDir, label)
 	}
+	if opt.ProfileDir != "" {
+		cap, perr := profile.Start(opt.ProfileDir, label)
+		if perr != nil {
+			return res, nil, fmt.Errorf("harness: %w", perr)
+		}
+		defer func() {
+			if serr := cap.Stop(); serr != nil && err == nil {
+				err = fmt.Errorf("harness: %w", serr)
+			}
+		}()
+	}
+	fault.Maybe("harness.cell")
 	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
-	return npbgo.RunContext(ctx, cfg)
+	res, err = npbgo.RunContext(ctx, cfg)
+	return res, nil, err
 }
 
 // cellName is the short per-cell tag used in trace filenames and
@@ -580,12 +665,14 @@ func SuiteTable(title string, sweeps []Sweep, threads []int) string {
 // dimensions and the cell layout (including per-repeat samples) cannot
 // drift between writers.
 func BenchRecordFrom(class byte, sweeps []Sweep, stamp string) report.BenchRecord {
+	env := hostEnv()
 	return report.BenchRecord{
 		Schema:     report.BenchSchema,
 		Stamp:      stamp,
 		Class:      string(class),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Env:        &env,
 		Cells:      CellRecords(sweeps),
 	}
 }
@@ -628,6 +715,9 @@ func cellMetrics(bench npbgo.Benchmark, class byte, r Run) report.CellMetrics {
 	}
 	m.Counters = r.Counters
 	m.CountersNote = r.CountersNote
+	m.CPUProfile = r.CPUProfile
+	m.HeapProfile = r.HeapProfile
+	m.Env = r.Env
 	if s := r.Obs; s != nil {
 		m.Regions = s.Regions
 		m.Cancellations = s.Cancellations

@@ -27,6 +27,8 @@ import (
 	"npbgo"
 	"npbgo/internal/fault"
 	"npbgo/internal/perfcount"
+	"npbgo/internal/profile"
+	"npbgo/internal/report"
 )
 
 // Isolation configures subprocess cell execution.
@@ -59,6 +61,14 @@ type CellSpec struct {
 	Counters   bool         `json:"counters,omitempty"`
 	FaultSeed  int64        `json:"fault_seed,omitempty"`
 	FaultRules []fault.Rule `json:"fault_rules,omitempty"`
+	// ProfileDir/ProfileLabel make the child capture its own CPU and
+	// heap profiles (the profiler must run in the process being
+	// profiled). The child writes to the shared per-cell paths; the
+	// parent collects them from disk, so a child that flushed before
+	// failing still hands over its profiles (a hard-killed child's
+	// unflushed, zero-byte file is filtered out on collection).
+	ProfileDir   string `json:"profile_dir,omitempty"`
+	ProfileLabel string `json:"profile_label,omitempty"`
 }
 
 // CellResult is the child-to-parent payload, printed as one JSON object
@@ -76,6 +86,10 @@ type CellResult struct {
 	// the child samples, the parent stamps the metrics record.
 	Counters     *perfcount.Stats `json:"counters,omitempty"`
 	CountersNote string           `json:"counters_note,omitempty"`
+	// Env is the child's own environment snapshot, always stamped; the
+	// parent suppresses it when it matches its own, so per-cell
+	// provenance appears in records only when it actually differs.
+	Env *report.EnvInfo `json:"env,omitempty"`
 }
 
 // RunCellMain is the child-side entry point behind `npbsuite
@@ -100,7 +114,25 @@ func RunCellMain(specJSON string, out io.Writer) int {
 		Obs:       spec.Obs,
 		Counters:  spec.Counters,
 	}
+	var cap *profile.Capture
+	if spec.ProfileDir != "" {
+		c, err := profile.Start(spec.ProfileDir, spec.ProfileLabel)
+		if err != nil {
+			// A requested-but-impossible capture is a cell failure, not a
+			// protocol failure: it travels inside the result like any
+			// other cell error.
+			env := report.CollectEnv()
+			json.NewEncoder(out).Encode(CellResult{
+				ErrKind: "profile", Error: err.Error(), Env: &env})
+			return 0
+		}
+		cap = c
+	}
 	res, err := npbgo.Run(cfg)
+	if serr := cap.Stop(); serr != nil && err == nil {
+		err = serr
+	}
+	env := report.CollectEnv()
 	cr := CellResult{
 		ElapsedSec:   res.Elapsed.Seconds(),
 		Mops:         res.Mops,
@@ -108,6 +140,7 @@ func RunCellMain(specJSON string, out io.Writer) int {
 		Tier:         res.Tier,
 		Counters:     res.Counters,
 		CountersNote: res.CountersNote,
+		Env:          &env,
 	}
 	if err != nil {
 		cr.Error = err.Error()
@@ -133,42 +166,51 @@ func classByte(s string) byte {
 
 // runIsolated executes one cell as a watched child process. timeout is
 // the hard per-attempt deadline (0 = unbounded); the context cancels
-// the child too (sweep-level cancellation).
-func runIsolated(ctx context.Context, cfg npbgo.Config, timeout time.Duration, iso *Isolation) (npbgo.Result, error) {
+// the child too (sweep-level cancellation). profileDir/label, when set,
+// make the child capture its own profiles. The returned EnvInfo is the
+// child's environment when it differs from this process's, nil when
+// identical (the common case — same binary, same host) or when the
+// child died before reporting.
+func runIsolated(ctx context.Context, cfg npbgo.Config, timeout time.Duration, iso *Isolation, profileDir, label string) (npbgo.Result, *report.EnvInfo, error) {
 	res := npbgo.Result{Benchmark: cfg.Benchmark, Class: cfg.Class, Threads: cfg.Threads}
 	if len(iso.Cmd) == 0 {
-		return res, errors.New("harness: Isolation.Cmd is empty")
+		return res, nil, errors.New("harness: Isolation.Cmd is empty")
 	}
 	spec := CellSpec{
 		Benchmark: string(cfg.Benchmark), Class: string(cfg.Class),
 		Threads: cfg.Threads, Warmup: cfg.Warmup, Obs: cfg.Obs,
 		Counters:  cfg.Counters,
 		FaultSeed: iso.FaultSeed, FaultRules: iso.FaultRules,
+		ProfileDir: profileDir, ProfileLabel: label,
 	}
 	payload, err := json.Marshal(spec)
 	if err != nil {
-		return res, fmt.Errorf("harness: isolate: %w", err)
+		return res, nil, fmt.Errorf("harness: isolate: %w", err)
 	}
 	cmd := exec.Command(iso.Cmd[0], append(append([]string{}, iso.Cmd[1:]...), string(payload))...)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &stdout, &stderr
 	start := time.Now()
 	if err := cmd.Start(); err != nil {
-		return res, fmt.Errorf("harness: isolate: %w", err)
+		return res, nil, fmt.Errorf("harness: isolate: %w", err)
 	}
 	waitErr, killed := watchChild(ctx, cmd, timeout, iso)
 	res.Elapsed = time.Since(start)
 	if killed != nil {
-		return res, killed
+		return res, nil, killed
 	}
 	if waitErr != nil {
-		return res, fmt.Errorf("harness: isolated cell exited abnormally: %w (stderr: %s)",
+		return res, nil, fmt.Errorf("harness: isolated cell exited abnormally: %w (stderr: %s)",
 			waitErr, strings.TrimSpace(stderr.String()))
 	}
 	var cr CellResult
 	if err := json.NewDecoder(&stdout).Decode(&cr); err != nil {
-		return res, fmt.Errorf("harness: isolated cell protocol: %w (stderr: %s)",
+		return res, nil, fmt.Errorf("harness: isolated cell protocol: %w (stderr: %s)",
 			err, strings.TrimSpace(stderr.String()))
+	}
+	env := cr.Env
+	if env != nil && *env == hostEnv() {
+		env = nil
 	}
 	res.Elapsed = time.Duration(cr.ElapsedSec * float64(time.Second))
 	res.Mops = cr.Mops
@@ -177,10 +219,10 @@ func runIsolated(ctx context.Context, cfg npbgo.Config, timeout time.Duration, i
 	res.Counters = cr.Counters
 	res.CountersNote = cr.CountersNote
 	if cr.Error != "" {
-		return res, &npbgo.RunError{Benchmark: cfg.Benchmark, Class: cfg.Class,
+		return res, env, &npbgo.RunError{Benchmark: cfg.Benchmark, Class: cfg.Class,
 			Threads: cfg.Threads, Kind: cr.ErrKind, Cause: errors.New(cr.Error)}
 	}
-	return res, nil
+	return res, env, nil
 }
 
 // watchChild waits for the child while running the deadline and RSS

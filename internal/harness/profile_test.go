@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"npbgo"
+	"npbgo/internal/fault"
+	"npbgo/internal/journal"
+	"npbgo/internal/profile"
+	"npbgo/internal/report"
+)
+
+// TestProfiledSweepCapturesCells: a profiled sweep leaves one decodable
+// CPU and heap profile per cell, and records their paths in the cell
+// metrics and the bench record.
+func TestProfiledSweepCapturesCells(t *testing.T) {
+	dir := t.TempDir()
+	sw, err := RunSweepOpts(npbgo.CG, 'S', []int{2}, Options{ProfileDir: dir})
+	if err != nil {
+		t.Fatalf("profiled sweep failed: %v", err)
+	}
+	if len(sw.Runs) != 2 {
+		t.Fatalf("runs = %d, want serial + t2", len(sw.Runs))
+	}
+	for _, r := range sw.Runs {
+		if r.CPUProfile == "" || r.HeapProfile == "" {
+			t.Fatalf("cell t%d missing profile paths: %+v", r.Threads, r)
+		}
+		if _, err := profile.ParseFile(r.CPUProfile); err != nil {
+			t.Fatalf("cell t%d CPU profile undecodable: %v", r.Threads, err)
+		}
+		if _, err := profile.ParseFile(r.HeapProfile); err != nil {
+			t.Fatalf("cell t%d heap profile undecodable: %v", r.Threads, err)
+		}
+		m := cellMetrics(npbgo.CG, 'S', r)
+		if m.CPUProfile != r.CPUProfile || m.HeapProfile != r.HeapProfile {
+			t.Fatalf("metrics record lost profile paths: %+v", m)
+		}
+	}
+	rec := BenchRecordFrom('S', []Sweep{sw}, "test")
+	if rec.Env == nil || rec.Env.GoVersion == "" {
+		t.Fatalf("bench record header carries no environment: %+v", rec.Env)
+	}
+	for _, c := range rec.Cells {
+		if c.Env != nil {
+			t.Fatalf("in-process cell carries a per-cell env (should only differ under isolation): %+v", c.Env)
+		}
+	}
+}
+
+// TestFailedCellProfileFlushedBeforeFail is the ordering satellite: a
+// cell killed by an injected panic must have its CPU profile flushed
+// and decodable on disk BEFORE the failure is recorded — the metrics
+// sink's first Write happens after the cell dies but before FAIL
+// rendering and before any journal Finish, so probing the profile from
+// there proves the flush preceded both.
+func TestFailedCellProfileFlushedBeforeFail(t *testing.T) {
+	fault.Activate(1, fault.Rule{Site: "cg.iter", Kind: fault.KindPanic, Count: -1})
+	defer fault.Reset()
+	dir := t.TempDir()
+	cpu, _ := profile.CellPaths(dir, "CG.S.serial")
+
+	checked := false
+	w := &recordingWriter{}
+	w.onFirstWrite = func() {
+		checked = true
+		st, err := os.Stat(cpu)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("at metrics-write time the failed cell's CPU profile is not on disk (err=%v)", err)
+			return
+		}
+		if _, err := profile.ParseFile(cpu); err != nil {
+			t.Errorf("failed cell's profile not decodable at metrics-write time: %v", err)
+		}
+	}
+	sw, err := RunSweepOpts(npbgo.CG, 'S', nil, Options{Metrics: w, ProfileDir: dir})
+	if err == nil {
+		t.Fatal("panicking sweep reported success")
+	}
+	if !checked {
+		t.Fatal("metrics sink never fired; ordering was not exercised")
+	}
+	if len(sw.Runs) != 1 || sw.Runs[0].Err == nil {
+		t.Fatalf("runs = %+v, want one failed cell", sw.Runs)
+	}
+	if sw.Runs[0].CPUProfile != cpu {
+		t.Fatalf("failed cell CPUProfile = %q, want %q (partial profile must be collected)", sw.Runs[0].CPUProfile, cpu)
+	}
+	failed := failedCellLines(t, &w.buf)
+	if len(failed) != 1 || failed[0].CPUProfile != cpu {
+		t.Fatalf("failed metrics line lost the profile path: %+v", failed)
+	}
+}
+
+// TestFailedCellProfileSurvivesJournalAbort: the profile is flushed
+// before the journal Finish, so a journal dying at exactly that point
+// still leaves the failed cell's profile decodable on disk.
+func TestFailedCellProfileSurvivesJournalAbort(t *testing.T) {
+	fault.Activate(1, fault.Rule{Site: "cg.iter", Kind: fault.KindPanic, Count: -1})
+	defer fault.Reset()
+	dir := t.TempDir()
+	cpu, _ := profile.CellPaths(dir, "CG.S.serial")
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	jw, err := journal.Create(path, journal.Plan{
+		Stamp: "test", Class: "S", Benchmarks: []string{"CG"},
+		Planned: PlannedCells([]npbgo.Benchmark{npbgo.CG}, 'S', nil),
+	})
+	if err != nil {
+		t.Fatalf("journal.Create: %v", err)
+	}
+	w := &recordingWriter{onFirstWrite: func() { jw.Close() }}
+	_, err = RunSweepOpts(npbgo.CG, 'S', nil, Options{Metrics: w, Journal: jw, ProfileDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("sweep error = %v, want the journal abort", err)
+	}
+	if _, err := profile.ParseFile(cpu); err != nil {
+		t.Fatalf("after the journal abort the failed cell's profile must still decode: %v", err)
+	}
+}
+
+// TestIsolatedProfileRoundTrip: under isolation the child captures its
+// own profiles into the shared per-cell paths; the parent collects them
+// and suppresses the child's env when identical to its own.
+func TestIsolatedProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	res, env, err := runIsolated(context.Background(),
+		npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 1},
+		0, isolationForTest(t), dir, "CG.S.serial")
+	if err != nil {
+		t.Fatalf("isolated profiled cell failed: %v", err)
+	}
+	if !res.Verified {
+		t.Fatalf("isolated result unverified: %+v", res)
+	}
+	if env != nil {
+		t.Fatalf("child env = %+v, want nil (same binary, same host)", env)
+	}
+	cpu, heap := profile.CellPaths(dir, "CG.S.serial")
+	for _, p := range []string{cpu, heap} {
+		if _, err := profile.ParseFile(p); err != nil {
+			t.Fatalf("child-captured profile %s undecodable: %v", p, err)
+		}
+	}
+}
+
+// TestIsolatedKilledCellRecordsNoEmptyProfile: runtime/pprof writes the
+// CPU profile proto only at StopCPUProfile, so a SIGKILL'd child leaves
+// a zero-byte file — no samples survive a hard kill. The harness must
+// not dress that up as data: the empty file is filtered out, the killed
+// cell's record carries no profile path (absence, not a torn file), and
+// the decoder rejects the empty file loudly if pointed at it anyway.
+func TestIsolatedKilledCellRecordsNoEmptyProfile(t *testing.T) {
+	iso := isolationForTest(t)
+	iso.FaultSeed = 1
+	iso.FaultRules = []fault.Rule{{Site: "cg.iter", Kind: fault.KindDelay,
+		Count: -1, Sleep: 30 * time.Second}}
+	dir := t.TempDir()
+	opt := Options{Timeout: 500 * time.Millisecond, Isolate: iso, ProfileDir: dir}
+	r := runCell(context.Background(), npbgo.CG, 'S', 0, opt)
+	var ke *KilledError
+	if !asKilled(r.Err, &ke) {
+		t.Fatalf("err = %v, want KilledError", r.Err)
+	}
+	cpu, _ := profile.CellPaths(dir, "CG.S.serial")
+	st, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("child never created its CPU profile file: %v", err)
+	}
+	if st.Size() != 0 {
+		// The kill landed after a flush; then the file must be stamped.
+		if r.CPUProfile != cpu {
+			t.Fatalf("non-empty profile %q not collected into the killed cell's record", cpu)
+		}
+		return
+	}
+	if r.CPUProfile != "" {
+		t.Fatalf("killed cell CPUProfile = %q, want empty (file has no bytes)", r.CPUProfile)
+	}
+	if _, err := profile.ParseFile(cpu); err == nil {
+		t.Fatal("decoder accepted a zero-byte profile")
+	}
+}
+
+// TestRunCellMainStampsEnv: the child-side entry point always stamps
+// its environment into the CellResult, the raw material of the parent's
+// differs-from-header suppression.
+func TestRunCellMainStampsEnv(t *testing.T) {
+	var out strings.Builder
+	spec := `{"benchmark":"CG","class":"S","threads":1}`
+	if code := RunCellMain(spec, &out); code != 0 {
+		t.Fatalf("RunCellMain exit = %d, output %s", code, out.String())
+	}
+	var cr CellResult
+	if err := json.Unmarshal([]byte(out.String()), &cr); err != nil {
+		t.Fatalf("bad CellResult JSON: %v", err)
+	}
+	if cr.Env == nil || cr.Env.GoVersion == "" || cr.Env.NumCPU < 1 {
+		t.Fatalf("child result carries no environment: %+v", cr.Env)
+	}
+	if *cr.Env != report.CollectEnv() {
+		t.Fatalf("child env %+v differs from this process's (same process!)", cr.Env)
+	}
+}

@@ -1,0 +1,625 @@
+// Stdlib-only decoder for the pprof profile format: a gzipped protocol
+// buffer (profile.proto from github.com/google/pprof), hand-parsed at
+// the wire level the same way internal/escape hand-parses the
+// compiler's -m=2 output — no google/pprof dependency, because this
+// repo's house rule is that analysis tooling rides on the standard
+// library alone.
+//
+// Only the subset the hotspot tables need is decoded: sample types,
+// samples with their location stacks, the location → line → function
+// graph, the string table, and the period/duration header. Labels,
+// mappings and the keep/drop frame filters are skipped field-by-field
+// (unknown fields are legal protobuf and must be tolerated), but a
+// stream that is structurally broken — truncated varint, length header
+// running past the buffer, string index or function/location reference
+// out of range — is a hard error: a profile from a hard-killed cell can
+// be cut anywhere, and misattributing its samples would be worse than
+// refusing them.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ValueType is one sample dimension: what is counted and in which unit
+// ("samples"/"count", "cpu"/"nanoseconds", "alloc_space"/"bytes", ...).
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Frame is one resolved stack frame. Frames produced by expanding a
+// location's inline chain carry the same location's file coordinates.
+type Frame struct {
+	Function string
+	File     string
+	Line     int64
+}
+
+// Sample is one resolved profile sample: the call stack leaf-first
+// (inline frames expanded, innermost first — exactly the proto's
+// ordering) and one value per sample type.
+type Sample struct {
+	Stack  []Frame
+	Values []int64
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+	// DefaultSampleType is the producer's preferred value dimension, ""
+	// when unset (Go's CPU profiles leave it unset).
+	DefaultSampleType string
+}
+
+// ValueIndex returns the index of the sample type with the given type
+// name, or -1 if the profile does not carry that dimension.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultIndex picks the value dimension hotspot tables should rank by:
+// the producer's default sample type when stamped, otherwise the last
+// dimension — which for Go's profiles is "cpu"/"nanoseconds" (CPU) and
+// "inuse_space"/"bytes" (heap), matching `go tool pprof`'s own default.
+func (p *Profile) DefaultIndex() int {
+	if p.DefaultSampleType != "" {
+		if i := p.ValueIndex(p.DefaultSampleType); i >= 0 {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// gzip magic bytes; pprof writers always compress, but a raw proto is
+// legal per the format documentation, so both are accepted.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Parse decodes a pprof profile from its serialized (usually gzipped)
+// form.
+func Parse(data []byte) (*Profile, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gzip header: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profile: gzip stream: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("profile: gzip checksum: %w", err)
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// ParseFile reads and decodes one profile file.
+func ParseFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("profile: %s: empty file (capture interrupted before any flush?)", path)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ---- wire-level protobuf reader -----------------------------------
+
+// errTruncated marks any structural cut — a varint or length header
+// running past the end of the buffer.
+var errTruncated = errors.New("profile: truncated protobuf stream")
+
+// wire reads protobuf primitives off a byte slice.
+type wire struct {
+	buf []byte
+	pos int
+}
+
+func (w *wire) done() bool { return w.pos >= len(w.buf) }
+
+// varint reads one base-128 varint (max 64 bits / 10 bytes).
+func (w *wire) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if w.pos >= len(w.buf) {
+			return 0, errTruncated
+		}
+		b := w.buf[w.pos]
+		w.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("profile: varint overflows 64 bits")
+}
+
+// bytes reads one length-delimited field body.
+func (w *wire) bytes() ([]byte, error) {
+	n, err := w.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(w.buf)-w.pos) {
+		return nil, errTruncated
+	}
+	out := w.buf[w.pos : w.pos+int(n)]
+	w.pos += int(n)
+	return out, nil
+}
+
+// field reads the next field tag, splitting it into number and wire
+// type.
+func (w *wire) field() (num int, typ int, err error) {
+	tag, err := w.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// skip consumes one field body of the given wire type. Group wire types
+// (3/4) are ancient proto1 leftovers no pprof writer emits; finding one
+// means the stream is not a profile.
+func (w *wire) skip(typ int) error {
+	switch typ {
+	case 0:
+		_, err := w.varint()
+		return err
+	case 1:
+		if len(w.buf)-w.pos < 8 {
+			return errTruncated
+		}
+		w.pos += 8
+		return nil
+	case 2:
+		_, err := w.bytes()
+		return err
+	case 5:
+		if len(w.buf)-w.pos < 4 {
+			return errTruncated
+		}
+		w.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("profile: unsupported wire type %d (not a pprof stream?)", typ)
+	}
+}
+
+// ints reads a repeated integer field, which protobuf serializes either
+// packed (one length-delimited blob of varints) or as one varint per
+// occurrence; Go's pprof writer packs, but both are legal and both
+// appear in the wild.
+func ints(w *wire, typ int, dst []uint64) ([]uint64, error) {
+	switch typ {
+	case 0:
+		v, err := w.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	case 2:
+		body, err := w.bytes()
+		if err != nil {
+			return dst, err
+		}
+		pw := wire{buf: body}
+		for !pw.done() {
+			v, err := pw.varint()
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("profile: integer field with wire type %d", typ)
+	}
+}
+
+// ---- message parsing ----------------------------------------------
+
+// raw* mirror the proto messages before cross-references are resolved.
+type rawValueType struct{ typ, unit int64 }
+
+type rawSample struct {
+	locs   []uint64
+	values []int64
+}
+
+type rawLine struct {
+	function uint64
+	line     int64
+}
+
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawFunction struct {
+	id             uint64
+	name, filename int64
+}
+
+func parseValueType(body []byte) (rawValueType, error) {
+	w := wire{buf: body}
+	var vt rawValueType
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1, 2:
+			v, err := w.varint()
+			if err != nil {
+				return vt, err
+			}
+			if num == 1 {
+				vt.typ = int64(v)
+			} else {
+				vt.unit = int64(v)
+			}
+		default:
+			if err := w.skip(typ); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(body []byte) (rawSample, error) {
+	w := wire{buf: body}
+	var s rawSample
+	var vals []uint64
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locs, err = ints(&w, typ, s.locs); err != nil {
+				return s, err
+			}
+		case 2:
+			if vals, err = ints(&w, typ, nil); err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+			vals = nil
+		default:
+			if err := w.skip(typ); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLine(body []byte) (rawLine, error) {
+	w := wire{buf: body}
+	var l rawLine
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1:
+			v, err := w.varint()
+			if err != nil {
+				return l, err
+			}
+			l.function = v
+		case 2:
+			v, err := w.varint()
+			if err != nil {
+				return l, err
+			}
+			l.line = int64(v)
+		default:
+			if err := w.skip(typ); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseLocation(body []byte) (rawLocation, error) {
+	w := wire{buf: body}
+	var loc rawLocation
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1:
+			v, err := w.varint()
+			if err != nil {
+				return loc, err
+			}
+			loc.id = v
+		case 4:
+			lb, err := w.bytes()
+			if err != nil {
+				return loc, err
+			}
+			line, err := parseLine(lb)
+			if err != nil {
+				return loc, err
+			}
+			loc.lines = append(loc.lines, line)
+		default:
+			if err := w.skip(typ); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseFunction(body []byte) (rawFunction, error) {
+	w := wire{buf: body}
+	var fn rawFunction
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return fn, err
+		}
+		switch num {
+		case 1:
+			v, err := w.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.id = v
+		case 2:
+			v, err := w.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.name = int64(v)
+		case 4:
+			v, err := w.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.filename = int64(v)
+		default:
+			if err := w.skip(typ); err != nil {
+				return fn, err
+			}
+		}
+	}
+	return fn, nil
+}
+
+// parseProto decodes the uncompressed Profile message and resolves all
+// cross-references.
+func parseProto(data []byte) (*Profile, error) {
+	w := wire{buf: data}
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		strTab      []string
+		periodType  rawValueType
+		period      int64
+		timeNanos   int64
+		durNanos    int64
+		defaultType int64
+	)
+	for !w.done() {
+		num, typ, err := w.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(body)
+			if err != nil {
+				return nil, err
+			}
+			locations = append(locations, loc)
+		case 5: // function
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := parseFunction(body)
+			if err != nil {
+				return nil, err
+			}
+			functions = append(functions, fn)
+		case 6: // string_table
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strTab = append(strTab, string(body))
+		case 9, 10, 12, 14: // time_nanos, duration_nanos, period, default_sample_type
+			v, err := w.varint()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 9:
+				timeNanos = int64(v)
+			case 10:
+				durNanos = int64(v)
+			case 12:
+				period = int64(v)
+			case 14:
+				defaultType = int64(v)
+			}
+		case 11: // period_type
+			body, err := w.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if periodType, err = parseValueType(body); err != nil {
+				return nil, err
+			}
+		default:
+			if err := w.skip(typ); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Resolution. The string table's slot 0 must be "" per the format;
+	// tolerate an empty table only for an entirely empty profile.
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strTab)) {
+			return "", fmt.Errorf("profile: string index %d out of range (table has %d)", i, len(strTab))
+		}
+		return strTab[i], nil
+	}
+	p := &Profile{Period: period, TimeNanos: timeNanos, DurationNanos: durNanos}
+	var err error
+	for _, vt := range sampleTypes {
+		var st ValueType
+		if st.Type, err = str(vt.typ); err != nil {
+			return nil, err
+		}
+		if st.Unit, err = str(vt.unit); err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, st)
+	}
+	if periodType != (rawValueType{}) {
+		if p.PeriodType.Type, err = str(periodType.typ); err != nil {
+			return nil, err
+		}
+		if p.PeriodType.Unit, err = str(periodType.unit); err != nil {
+			return nil, err
+		}
+	}
+	if defaultType != 0 {
+		if p.DefaultSampleType, err = str(defaultType); err != nil {
+			return nil, err
+		}
+	}
+
+	funcByID := make(map[uint64]Frame, len(functions))
+	for _, fn := range functions {
+		if fn.id == 0 {
+			return nil, errors.New("profile: function with id 0")
+		}
+		var fr Frame
+		if fr.Function, err = str(fn.name); err != nil {
+			return nil, err
+		}
+		if fr.File, err = str(fn.filename); err != nil {
+			return nil, err
+		}
+		funcByID[fn.id] = fr
+	}
+	locByID := make(map[uint64][]Frame, len(locations))
+	for _, loc := range locations {
+		if loc.id == 0 {
+			return nil, errors.New("profile: location with id 0")
+		}
+		frames := make([]Frame, 0, len(loc.lines))
+		for _, ln := range loc.lines {
+			fr, ok := funcByID[ln.function]
+			if !ok {
+				return nil, fmt.Errorf("profile: location %d references unknown function %d", loc.id, ln.function)
+			}
+			fr.Line = ln.line
+			frames = append(frames, fr)
+		}
+		if len(frames) == 0 {
+			// An unsymbolized location (address only). Keep a placeholder
+			// frame so stack depth is preserved; attribution counts it as
+			// unresolved.
+			frames = append(frames, Frame{Function: ""})
+		}
+		locByID[loc.id] = frames
+	}
+	for _, s := range samples {
+		if len(s.values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("profile: sample carries %d values for %d sample types", len(s.values), len(p.SampleTypes))
+		}
+		rs := Sample{Values: s.values}
+		for _, id := range s.locs {
+			frames, ok := locByID[id]
+			if !ok {
+				return nil, fmt.Errorf("profile: sample references unknown location %d", id)
+			}
+			rs.Stack = append(rs.Stack, frames...)
+		}
+		p.Samples = append(p.Samples, rs)
+	}
+	return p, nil
+}
+
+// String renders the profile header one line per dimension, for
+// debugging and the tests.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d samples", len(p.Samples))
+	for _, st := range p.SampleTypes {
+		fmt.Fprintf(&b, " [%s/%s]", st.Type, st.Unit)
+	}
+	if p.DurationNanos > 0 {
+		fmt.Fprintf(&b, " duration=%.2fs", float64(p.DurationNanos)/1e9)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+// Noise-aware comparison of two hot-function tables, following the
+// same convention perfstat.Compare applies to elapsed times: a delta
+// only counts when it is statistically separated AND clears a
+// practical-significance threshold, so two profiles of identical code
+// never flag (sampling jitter alone must stay green — the CI
+// profile gate depends on it, like the perf gate before it).
+//
+// The statistics ride on sample counts: a function holding share p of
+// n samples is a binomial observation with (add-one-smoothed) standard
+// error sqrt(p'(1-p')/(n+2)), p' = (k+1)/(n+2). Two shares are
+// separated when their difference exceeds z times the summed standard
+// errors — the profile analogue of perfstat's "confidence intervals
+// must not overlap".
+package profile
+
+import (
+	"math"
+	"sort"
+)
+
+// DiffOptions tunes significance judgment.
+type DiffOptions struct {
+	// MinShareDelta is the practical-significance floor: a function's
+	// share of the profile must move by at least this many fractional
+	// points (0.05 = five percentage points) to flag. <= 0 means 0.05.
+	MinShareDelta float64
+	// MinShare drops functions holding less than this share in both
+	// profiles — a sub-percent helper doubling its share is not a
+	// hotspot story. <= 0 means 0.02.
+	MinShare float64
+	// Z is the separation multiplier applied to the summed binomial
+	// standard errors; <= 0 means 1.96 (~95% two-sided).
+	Z float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.MinShareDelta <= 0 {
+		o.MinShareDelta = 0.05
+	}
+	if o.MinShare <= 0 {
+		o.MinShare = 0.02
+	}
+	if o.Z <= 0 {
+		o.Z = 1.96
+	}
+	return o
+}
+
+// FuncDelta is one function's movement between two profiles.
+type FuncDelta struct {
+	Name      string  `json:"name"`
+	BaseShare float64 `json:"base_share"` // fraction of the base profile's flat total
+	HeadShare float64 `json:"head_share"`
+	Delta     float64 `json:"delta"` // HeadShare - BaseShare, fractional points
+	// Separated reports statistical separation alone; Significant
+	// additionally requires the MinShareDelta practical floor.
+	Separated   bool `json:"separated"`
+	Significant bool `json:"significant"`
+}
+
+// Diff is the comparison of two hot-function tables.
+type Diff struct {
+	// BaseSamples/HeadSamples are the sample counts the standard errors
+	// were computed from.
+	BaseSamples int `json:"base_samples"`
+	HeadSamples int `json:"head_samples"`
+	// Deltas holds every function clearing MinShare in either profile,
+	// ordered by descending |Delta|.
+	Deltas []FuncDelta `json:"deltas"`
+	// Significant counts the deltas that flagged.
+	Significant int `json:"significant"`
+}
+
+// CompareTables judges head against base. Shares are flat shares of
+// each table's total; sample counts drive the separation test.
+func CompareTables(base, head *Table, opt DiffOptions) Diff {
+	opt = opt.withDefaults()
+	d := Diff{BaseSamples: base.Samples, HeadSamples: head.Samples}
+	baseShare := shares(base)
+	headShare := shares(head)
+	names := map[string]bool{}
+	for n := range baseShare {
+		names[n] = true
+	}
+	for n := range headShare {
+		names[n] = true
+	}
+	for name := range names {
+		b, h := baseShare[name], headShare[name]
+		if b < opt.MinShare && h < opt.MinShare {
+			continue
+		}
+		fd := FuncDelta{Name: name, BaseShare: b, HeadShare: h, Delta: h - b}
+		se := opt.Z * (stderr(b, base.Samples) + stderr(h, head.Samples))
+		fd.Separated = math.Abs(fd.Delta) > se
+		fd.Significant = fd.Separated && math.Abs(fd.Delta) >= opt.MinShareDelta
+		if fd.Significant {
+			d.Significant++
+		}
+		d.Deltas = append(d.Deltas, fd)
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool {
+		a, b := d.Deltas[i], d.Deltas[j]
+		if math.Abs(a.Delta) != math.Abs(b.Delta) {
+			return math.Abs(a.Delta) > math.Abs(b.Delta)
+		}
+		return a.Name < b.Name
+	})
+	return d
+}
+
+// shares maps function name to flat share of the table's total.
+func shares(t *Table) map[string]float64 {
+	out := make(map[string]float64, len(t.Funcs))
+	if t.Total == 0 {
+		return out
+	}
+	for _, f := range t.Funcs {
+		if f.Flat > 0 {
+			out[f.Name] = float64(f.Flat) / float64(t.Total)
+		}
+	}
+	return out
+}
+
+// stderr is the add-one-smoothed binomial standard error of share p
+// over n samples. The raw formula sqrt(p(1-p)/n) degenerates to zero
+// at p = 0 or p = 1, so a one-sample cell whose single sample lands in
+// a different function between runs would look infinitely separated —
+// exactly the short class-S cells the gate must stay quiet on. Laplace
+// smoothing ((k+1)/(n+2)) keeps the error honest at the extremes:
+// tiny-sample cells cannot separate, while well-sampled profiles are
+// essentially unchanged. A profile with no samples yields +Inf, so
+// nothing can separate against it — an empty profile never produces
+// findings, only absence.
+func stderr(p float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	ps := (p*float64(n) + 1) / float64(n+2)
+	return math.Sqrt(ps * (1 - ps) / float64(n+2))
+}

@@ -1,0 +1,127 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+// table builds a flat-only Table from name→value pairs.
+func table(samples int, funcs map[string]int64) *Table {
+	t := &Table{Type: "samples", Unit: "count", Samples: samples}
+	for name, v := range funcs {
+		t.Total += v
+		t.Funcs = append(t.Funcs, FuncStat{Name: name, Flat: v, Cum: v})
+	}
+	return t
+}
+
+func TestCompareIdenticalTablesStaysQuiet(t *testing.T) {
+	a := table(1000, map[string]int64{"kernel": 600, "solver": 300, "other": 100})
+	b := table(1000, map[string]int64{"kernel": 600, "solver": 300, "other": 100})
+	d := CompareTables(a, b, DiffOptions{})
+	if d.Significant != 0 {
+		t.Fatalf("identical tables flagged %d significant deltas: %+v", d.Significant, d.Deltas)
+	}
+}
+
+func TestCompareJitterBelowThresholdStaysQuiet(t *testing.T) {
+	// 2-point share movement on plenty of samples: separated, but under
+	// the 5-point practical floor — the perfstat convention (CI
+	// separation alone is not a finding).
+	a := table(100000, map[string]int64{"kernel": 60000, "solver": 40000})
+	b := table(100000, map[string]int64{"kernel": 62000, "solver": 38000})
+	d := CompareTables(a, b, DiffOptions{})
+	if d.Significant != 0 {
+		t.Fatalf("2-point jitter flagged: %+v", d.Deltas)
+	}
+	// It is still reported as separated, just not significant.
+	var kernel FuncDelta
+	for _, fd := range d.Deltas {
+		if fd.Name == "kernel" {
+			kernel = fd
+		}
+	}
+	if !kernel.Separated || kernel.Significant {
+		t.Fatalf("kernel delta = %+v, want separated && !significant", kernel)
+	}
+}
+
+func TestCompareRealShiftFlags(t *testing.T) {
+	a := table(10000, map[string]int64{"kernel": 6000, "solver": 4000})
+	b := table(10000, map[string]int64{"kernel": 7500, "solver": 2500})
+	d := CompareTables(a, b, DiffOptions{})
+	if d.Significant != 2 {
+		t.Fatalf("15-point shift: significant = %d, want 2: %+v", d.Significant, d.Deltas)
+	}
+	// Ordered by |delta| descending; both moved 15 points.
+	if math.Abs(d.Deltas[0].Delta) < math.Abs(d.Deltas[len(d.Deltas)-1].Delta) {
+		t.Fatalf("deltas not ordered by magnitude: %+v", d.Deltas)
+	}
+}
+
+func TestCompareFewSamplesCannotSeparate(t *testing.T) {
+	// The same 15-point shift on 20 samples is inside sampling noise:
+	// the binomial standard errors swallow it.
+	a := table(20, map[string]int64{"kernel": 12, "solver": 8})
+	b := table(20, map[string]int64{"kernel": 15, "solver": 5})
+	d := CompareTables(a, b, DiffOptions{})
+	if d.Significant != 0 {
+		t.Fatalf("20-sample profiles separated: %+v", d.Deltas)
+	}
+}
+
+func TestCompareSingleSampleFlipStaysQuiet(t *testing.T) {
+	// A ~1ms class-S cell collects one CPU sample; between two runs of
+	// identical code that sample can land in a different function,
+	// producing a 100-point raw delta at p = 0 and p = 1 — where the
+	// unsmoothed binomial stderr is zero and any delta would "separate".
+	// The Laplace-smoothed error must swallow it.
+	a := table(1, map[string]int64{"randlc": 1})
+	b := table(1, map[string]int64{"buildBodies": 1})
+	d := CompareTables(a, b, DiffOptions{})
+	if d.Significant != 0 {
+		t.Fatalf("one-sample flip flagged as a shift: %+v", d.Deltas)
+	}
+	for _, fd := range d.Deltas {
+		if fd.Separated {
+			t.Fatalf("one-sample flip separated: %+v", fd)
+		}
+	}
+}
+
+func TestCompareMinShareDropsNoise(t *testing.T) {
+	a := table(10000, map[string]int64{"kernel": 9900, "tiny": 100})
+	b := table(10000, map[string]int64{"kernel": 9980, "tiny": 20})
+	d := CompareTables(a, b, DiffOptions{MinShare: 0.02})
+	for _, fd := range d.Deltas {
+		if fd.Name == "tiny" {
+			t.Fatalf("sub-threshold function compared: %+v", fd)
+		}
+	}
+}
+
+func TestCompareEmptyProfileNeverFlags(t *testing.T) {
+	a := table(0, nil)
+	b := table(1000, map[string]int64{"kernel": 1000})
+	if d := CompareTables(a, b, DiffOptions{}); d.Significant != 0 {
+		t.Fatalf("empty base produced findings: %+v", d.Deltas)
+	}
+	if d := CompareTables(b, a, DiffOptions{}); d.Significant != 0 {
+		t.Fatalf("empty head produced findings: %+v", d.Deltas)
+	}
+}
+
+func TestCompareFunctionAppearsAndVanishes(t *testing.T) {
+	a := table(10000, map[string]int64{"kernel": 10000})
+	b := table(10000, map[string]int64{"kernel": 7000, "newcode": 3000})
+	d := CompareTables(a, b, DiffOptions{})
+	var nc FuncDelta
+	for _, fd := range d.Deltas {
+		if fd.Name == "newcode" {
+			nc = fd
+		}
+	}
+	if !nc.Significant || nc.BaseShare != 0 || math.Abs(nc.Delta-0.3) > 1e-9 {
+		t.Fatalf("appearing function = %+v, want significant 30-point arrival", nc)
+	}
+}

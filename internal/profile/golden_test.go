@@ -1,0 +1,105 @@
+package profile
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The checked-in fixtures are real runtime/pprof output captured once
+// via this package's own Capture (a spin loop under CPU profiling, then
+// the allocs profile): genuine gzipped proto from the Go runtime, so
+// the decoder is exercised against the writer it must read in
+// production, not only against the synthetic encoder in decode_test.go.
+// The fixtures are frozen, so the assertions are exact.
+
+func TestGoldenCPUFixture(t *testing.T) {
+	p, err := ParseFile("testdata/cpu.pprof")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	wantTypes := []ValueType{{"samples", "count"}, {"cpu", "nanoseconds"}}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[0] != wantTypes[0] || p.SampleTypes[1] != wantTypes[1] {
+		t.Fatalf("sample types = %+v, want %+v", p.SampleTypes, wantTypes)
+	}
+	if len(p.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(p.Samples))
+	}
+	if p.Period != 10_000_000 || p.PeriodType != (ValueType{"cpu", "nanoseconds"}) {
+		t.Fatalf("period = %d %+v", p.Period, p.PeriodType)
+	}
+	if p.DurationNanos <= 0 {
+		t.Fatal("no duration header")
+	}
+	tab, err := Aggregate(p, p.DefaultIndex())
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if tab.Funcs[0].Name != "npbgo/internal/profile.spin" {
+		t.Fatalf("top flat = %q, want the capture's spin loop", tab.Funcs[0].Name)
+	}
+	if tab.Funcs[0].FlatPct < 90 {
+		t.Fatalf("spin flat = %.2f%%, want > 90%%", tab.Funcs[0].FlatPct)
+	}
+	if tab.AttributedPct < 90 {
+		t.Fatalf("AttributedPct = %.2f%%, want > 90%% (spin lives under %s)", tab.AttributedPct, KernelPrefix)
+	}
+	// The test harness frames appear with zero flat but high cum — the
+	// flat/cum distinction the table exists for.
+	var runner FuncStat
+	for _, f := range tab.Funcs {
+		if f.Name == "testing.tRunner" {
+			runner = f
+		}
+	}
+	if runner.Name == "" || runner.Flat != 0 || runner.CumPct < 90 {
+		t.Fatalf("tRunner = %+v, want flat 0 / cum > 90%%", runner)
+	}
+}
+
+func TestGoldenHeapFixture(t *testing.T) {
+	p, err := ParseFile("testdata/heap.pprof")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	want := []ValueType{
+		{"alloc_objects", "count"}, {"alloc_space", "bytes"},
+		{"inuse_objects", "count"}, {"inuse_space", "bytes"},
+	}
+	if len(p.SampleTypes) != len(want) {
+		t.Fatalf("sample types = %+v, want %+v", p.SampleTypes, want)
+	}
+	for i, w := range want {
+		if p.SampleTypes[i] != w {
+			t.Fatalf("sample type %d = %+v, want %+v", i, p.SampleTypes[i], w)
+		}
+	}
+	if i := p.ValueIndex("alloc_space"); i != 1 {
+		t.Fatalf("ValueIndex(alloc_space) = %d, want 1", i)
+	}
+	tab, err := Aggregate(p, p.ValueIndex("alloc_space"))
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if tab.Total <= 0 || len(tab.Funcs) == 0 {
+		t.Fatalf("empty alloc_space table: %+v", tab)
+	}
+	if !strings.HasSuffix(tab.FormatValue(tab.Total), "B") {
+		t.Fatalf("byte formatting = %q", tab.FormatValue(tab.Total))
+	}
+}
+
+// The golden files stay parseable after a byte-level round trip through
+// disk — guards against fixture corruption by tooling (git filters,
+// editors) going unnoticed.
+func TestGoldenFixturesAreGzipped(t *testing.T) {
+	for _, f := range []string{"testdata/cpu.pprof", "testdata/heap.pprof"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Fatalf("%s is not gzipped (magic = %x)", f, data[:2])
+		}
+	}
+}

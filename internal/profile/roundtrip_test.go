@@ -1,0 +1,85 @@
+package profile_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"npbgo"
+	"npbgo/internal/profile"
+)
+
+// TestCGRoundTrip is the end-to-end claim of the profiling layer: a
+// real CG run captured with this package's Capture, decoded with this
+// package's decoder, must attribute its CPU to the CG kernel symbols —
+// the paper's §4 "which function is the serial gap in" question,
+// answered without any external pprof tooling.
+func TestCGRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := profile.Start(dir, "CG.S.t2")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Accumulate enough CPU under the capture for a stable sample set:
+	// CG class S is short, so repeat it until ~1.5s has elapsed.
+	for start := time.Now(); time.Since(start) < 1500*time.Millisecond; {
+		res, err := npbgo.Run(npbgo.Config{Benchmark: npbgo.CG, Class: 'S', Threads: 2})
+		if err != nil {
+			c.Stop()
+			t.Fatalf("CG run: %v", err)
+		}
+		if !res.Verified {
+			c.Stop()
+			t.Fatal("CG run did not verify under profiling")
+		}
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	p, err := profile.ParseFile(c.CPUPath())
+	if err != nil {
+		t.Fatalf("decode captured CPU profile: %v", err)
+	}
+	if len(p.Samples) < 20 {
+		t.Fatalf("only %d samples after 1.5s of CG (profiler off?)", len(p.Samples))
+	}
+	tab, err := profile.Aggregate(p, p.DefaultIndex())
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+
+	// The top flat functions must be symbolized kernel code. CG's inner
+	// products and sparse mat-vec dominate; depending on inlining the
+	// leaf is a cg.* method or the team runtime driving it.
+	foundCG := false
+	for _, f := range tab.Top(10) {
+		if strings.HasPrefix(f.Name, "npbgo/internal/cg.") {
+			foundCG = true
+			break
+		}
+	}
+	if !foundCG {
+		var names []string
+		for _, f := range tab.Top(10) {
+			names = append(names, f.Name)
+		}
+		t.Fatalf("no npbgo/internal/cg.* function in the top 10 flat: %v", names)
+	}
+	if !strings.HasPrefix(tab.Funcs[0].Name, "npbgo/") {
+		t.Fatalf("top flat function %q is not this module's code", tab.Funcs[0].Name)
+	}
+	if tab.AttributedPct < 60 {
+		t.Fatalf("AttributedPct = %.1f%%, want >= 60%% of CPU inside %s",
+			tab.AttributedPct, profile.KernelPrefix)
+	}
+
+	// The heap side decodes too, and carries CG's setup allocations.
+	hp, err := profile.ParseFile(c.HeapPath())
+	if err != nil {
+		t.Fatalf("decode captured heap profile: %v", err)
+	}
+	if hp.ValueIndex("alloc_space") < 0 {
+		t.Fatalf("heap profile types = %+v", hp.SampleTypes)
+	}
+}

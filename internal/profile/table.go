@@ -1,0 +1,168 @@
+// Hot-function aggregation: collapse a decoded profile's samples into
+// the flat/cumulative per-function table the paper's per-kernel
+// diagnosis needs — "CG spends 61% of its CPU in sparseMatVec" is one
+// row of this table. Flat charges a sample to its leaf function only;
+// cumulative charges it once to every distinct function on the stack
+// (once, so recursion cannot exceed 100%).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KernelPrefix marks this repository's own code in symbolized function
+// names; attribution statistics report how much of a profile lands
+// under it. Kernels, the team runtime and the solver cores all live in
+// internal/, so a healthy benchmark profile is dominated by it.
+const KernelPrefix = "npbgo/internal/"
+
+// FuncStat is one function's row of a hot-function table.
+type FuncStat struct {
+	Name    string  `json:"name"`
+	Flat    int64   `json:"flat"`
+	FlatPct float64 `json:"flat_pct"`
+	Cum     int64   `json:"cum"`
+	CumPct  float64 `json:"cum_pct"`
+}
+
+// Table is the aggregated hot-function view of one profile dimension.
+type Table struct {
+	// Type/Unit name the aggregated dimension ("cpu"/"nanoseconds",
+	// "alloc_space"/"bytes", ...).
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+	// Total is the summed value of every sample.
+	Total int64 `json:"total"`
+	// Samples counts the profile's samples (stacks, not value units).
+	Samples int `json:"samples"`
+	// AttributedPct is the share of Total whose stack contains at least
+	// one symbolized KernelPrefix function — the "how much of this
+	// profile do we understand" figure the CI smoke asserts on.
+	AttributedPct float64 `json:"attributed_pct"`
+	// Funcs is every function observed, ordered by descending flat
+	// value (ties broken by name for determinism).
+	Funcs []FuncStat `json:"functions"`
+}
+
+// Aggregate builds the hot-function table for the profile's given value
+// dimension (see Profile.ValueIndex / DefaultIndex).
+func Aggregate(p *Profile, valueIndex int) (*Table, error) {
+	if valueIndex < 0 || valueIndex >= len(p.SampleTypes) {
+		return nil, fmt.Errorf("profile: value index %d out of range (profile has %d sample types)",
+			valueIndex, len(p.SampleTypes))
+	}
+	t := &Table{
+		Type: p.SampleTypes[valueIndex].Type,
+		Unit: p.SampleTypes[valueIndex].Unit,
+	}
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	seen := map[string]bool{} // per-sample dedup for cum
+	for _, s := range p.Samples {
+		v := s.Values[valueIndex]
+		if v == 0 {
+			continue
+		}
+		t.Total += v
+		t.Samples++
+		if len(s.Stack) == 0 {
+			flat["<no stack>"] += v
+			cum["<no stack>"] += v
+			continue
+		}
+		flat[frameName(s.Stack[0])] += v
+		clear(seen)
+		attributed := false
+		for _, fr := range s.Stack {
+			name := frameName(fr)
+			if !seen[name] {
+				seen[name] = true
+				cum[name] += v
+			}
+			if strings.HasPrefix(fr.Function, KernelPrefix) {
+				attributed = true
+			}
+		}
+		if attributed {
+			// AttributedPct is accumulated in Total units via FlatPct's
+			// denominator below; stash in Samples-independent sum.
+			t.AttributedPct += float64(v)
+		}
+	}
+	if t.Total > 0 {
+		t.AttributedPct = 100 * t.AttributedPct / float64(t.Total)
+	}
+	for name, f := range flat {
+		fs := FuncStat{Name: name, Flat: f, Cum: cum[name]}
+		if t.Total > 0 {
+			fs.FlatPct = 100 * float64(f) / float64(t.Total)
+			fs.CumPct = 100 * float64(cum[name]) / float64(t.Total)
+		}
+		t.Funcs = append(t.Funcs, fs)
+	}
+	// Functions that never appear as a leaf still deserve rows — their
+	// cumulative share is how callers like (*CG).Run show up at all.
+	for name, c := range cum {
+		if _, ok := flat[name]; ok {
+			continue
+		}
+		fs := FuncStat{Name: name, Cum: c}
+		if t.Total > 0 {
+			fs.CumPct = 100 * float64(c) / float64(t.Total)
+		}
+		t.Funcs = append(t.Funcs, fs)
+	}
+	sort.Slice(t.Funcs, func(i, j int) bool {
+		a, b := t.Funcs[i], t.Funcs[j]
+		if a.Flat != b.Flat {
+			return a.Flat > b.Flat
+		}
+		if a.Cum != b.Cum {
+			return a.Cum > b.Cum
+		}
+		return a.Name < b.Name
+	})
+	return t, nil
+}
+
+// frameName is the display name of a frame; unsymbolized frames share
+// one bucket so they aggregate visibly instead of vanishing.
+func frameName(fr Frame) string {
+	if fr.Function == "" {
+		return "<unsymbolized>"
+	}
+	return fr.Function
+}
+
+// Top returns the table truncated to its n heaviest functions by flat
+// value (all of them if n <= 0 or beyond the end).
+func (t *Table) Top(n int) []FuncStat {
+	if n <= 0 || n > len(t.Funcs) {
+		n = len(t.Funcs)
+	}
+	return t.Funcs[:n]
+}
+
+// FormatValue renders one value in the table's unit: seconds for
+// nanosecond units, IEC bytes for byte units, plain counts otherwise.
+func (t *Table) FormatValue(v int64) string {
+	switch t.Unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	case "bytes":
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.2fKiB", float64(v)/(1<<10))
+		default:
+			return fmt.Sprintf("%dB", v)
+		}
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -68,6 +68,20 @@ type CellMetrics struct {
 	// so a missing measurement is always distinguishable from silent
 	// zeros.
 	CountersNote string `json:"counters_note,omitempty"`
+
+	// CPUProfile/HeapProfile are the per-cell pprof files captured when
+	// the sweep ran with profiling enabled (-profile), as written by the
+	// harness — the inputs `npbperf hotspots` decodes. A failed or
+	// killed cell keeps whatever it flushed before dying; absent on runs
+	// without profiling.
+	CPUProfile  string `json:"cpu_profile,omitempty"`
+	HeapProfile string `json:"heap_profile,omitempty"`
+
+	// Env is the environment of the process that actually executed the
+	// cell, recorded only when it differs from the record header's Env —
+	// under subprocess isolation the child stamps its own and the parent
+	// forwards it here if the two ever disagree.
+	Env *EnvInfo `json:"env,omitempty"`
 }
 
 // BenchSchema identifies the BenchRecord layout; bump it when the
@@ -81,18 +95,29 @@ const BenchSchema = "npbgo/bench/v1"
 // perf history that can be diffed across commits — the paper's tables,
 // but for trend tooling instead of eyeballs.
 type BenchRecord struct {
-	Schema     string        `json:"schema"` // BenchSchema
-	Stamp      string        `json:"stamp"`  // UTC, 20060102T150405Z
-	Class      string        `json:"class"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"numcpu"`
-	Cells      []CellMetrics `json:"cells"`
+	Schema     string `json:"schema"` // BenchSchema
+	Stamp      string `json:"stamp"`  // UTC, 20060102T150405Z
+	Class      string `json:"class"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	// Env is the recording host's provenance (Go version, GOGC, kernel,
+	// CPU model), stamped so profiles and counters stay comparable —
+	// or visibly incomparable — across machines. Additive: absent on
+	// records written before provenance existed.
+	Env   *EnvInfo      `json:"env,omitempty"`
+	Cells []CellMetrics `json:"cells"`
 }
 
 // WriteBenchJSON writes rec as indented JSON (one record per file, so
 // indentation costs nothing and keeps the history reviewable).
 func WriteBenchJSON(w io.Writer, rec BenchRecord) error {
-	buf, err := json.MarshalIndent(rec, "", "  ")
+	return writeIndentedJSON(w, rec)
+}
+
+// writeIndentedJSON is the shared one-record writer behind every
+// indented record schema.
+func writeIndentedJSON(w io.Writer, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -128,30 +153,37 @@ func WriteJSONL(w io.Writer, v any) error {
 // earlier in the stream stays a hard error, because it means the file
 // was damaged, not merely interrupted.
 func ReadBenchRecords(r io.Reader) ([]BenchRecord, error) {
+	return readRecordStream[BenchRecord](r, "bench", BenchSchema,
+		func(rec *BenchRecord) string { return rec.Schema })
+}
+
+// readRecordStream is the shared loader behind every record schema:
+// decode a stream of JSON records, dispatch each record's schema stamp
+// against the one supported version, tolerate exactly one crash-torn
+// record at the tail, and treat an empty input as an error.
+func readRecordStream[T any](r io.Reader, kind, want string, schema func(*T) string) ([]T, error) {
 	dec := json.NewDecoder(r)
-	var out []BenchRecord
+	var out []T
 	for {
-		var rec BenchRecord
+		var rec T
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if errors.Is(err, io.ErrUnexpectedEOF) {
 			if len(out) == 0 {
-				return nil, errors.New("report: input is one truncated bench record (crash-cut before any record completed)")
+				return nil, fmt.Errorf("report: input is one truncated %s record (crash-cut before any record completed)", kind)
 			}
 			return out, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("report: bench record %d: %w", len(out)+1, err)
+			return nil, fmt.Errorf("report: %s record %d: %w", kind, len(out)+1, err)
 		}
-		switch rec.Schema {
-		case BenchSchema:
-			out = append(out, rec)
-		default:
-			return nil, fmt.Errorf("report: bench record %d: unknown schema %q (this tool reads %q)",
-				len(out)+1, rec.Schema, BenchSchema)
+		if got := schema(&rec); got != want {
+			return nil, fmt.Errorf("report: %s record %d: unknown schema %q (this tool reads %q)",
+				kind, len(out)+1, got, want)
 		}
+		out = append(out, rec)
 	}
 	if len(out) == 0 {
-		return nil, errors.New("report: no bench records in input")
+		return nil, fmt.Errorf("report: no %s records in input", kind)
 	}
 	return out, nil
 }
